@@ -1,0 +1,105 @@
+// Command fmmbench regenerates the tables and figures of Benson & Ballard,
+// "A Framework for Practical Parallel Fast Matrix Multiplication"
+// (PPoPP 2015), on this machine, using the repository's pure-Go substrate.
+//
+// Usage:
+//
+//	fmmbench -list                 # show experiment ids
+//	fmmbench -exp fig5             # one experiment
+//	fmmbench -exp all              # everything (several minutes)
+//	fmmbench -exp fig4 -scale 1.5 -trials 5 -workers 24 -small 6
+//
+// Problem sizes default to dimensions suited to the pure-Go gemm kernel
+// (absolute sizes are smaller than the paper's MKL-based runs; the shapes and
+// who-wins comparisons are what reproduce). -scale grows them toward
+// paper-scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"fastmm/internal/bench"
+	"fastmm/internal/generated"
+	"fastmm/internal/mat"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	list := flag.Bool("list", false, "list experiments")
+	trials := flag.Int("trials", 3, "timing trials per point (median is reported)")
+	scale := flag.Float64("scale", 1, "problem-size multiplier")
+	workers := flag.Int("workers", 0, "high worker count (default min(24, GOMAXPROCS))")
+	small := flag.Int("small", 0, "low worker count (default min(6, GOMAXPROCS))")
+	quick := flag.Bool("quick", false, "smoke-test sizes")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, n := range bench.Names() {
+			e, _ := bench.Lookup(n)
+			fmt.Printf("  %-10s %s\n", n, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	// Install the generated-code series used by fig1.
+	bench.SetGeneratedStrassen(func(cfg bench.Config, sizes []int) ([]bench.Point, error) {
+		var pts []bench.Point
+		for _, n := range sizes {
+			A := mat.New(n, n)
+			B := mat.New(n, n)
+			rng := rand.New(rand.NewSource(int64(n)))
+			A.FillRandom(rng)
+			B.FillRandom(rng)
+			C := mat.New(n, n)
+			best := -1.0
+			for _, steps := range []int{1, 2, 3} {
+				start := time.Now()
+				for t := 0; t < cfg.Trials; t++ {
+					generated.MultiplyStrassen(C, A, B, steps)
+				}
+				secs := time.Since(start).Seconds() / float64(cfg.Trials)
+				if best < 0 || secs < best {
+					best = secs
+				}
+			}
+			eff := (2*float64(n)*float64(n)*float64(n) - float64(n)*float64(n)) / best * 1e-9
+			pts = append(pts, bench.Point{Series: "strassen-gen", X: n, P: n, Q: n, R: n,
+				Workers: 1, Seconds: best, Eff: eff, EffCore: eff})
+		}
+		return pts, nil
+	})
+
+	cfg := bench.Config{
+		Trials:       *trials,
+		Scale:        *scale,
+		Workers:      *workers,
+		SmallWorkers: *small,
+		Quick:        *quick,
+		Out:          os.Stdout,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Names()
+	}
+	start := time.Now()
+	for _, id := range ids {
+		expStart := time.Now()
+		if _, err := bench.Run(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s took %v]\n", id, time.Since(expStart).Round(time.Millisecond))
+	}
+	if *exp == "all" {
+		fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Second))
+	}
+}

@@ -1,0 +1,54 @@
+// Command fmmgen generates specialized Go source for one catalog algorithm —
+// the code-generation workflow of Benson & Ballard §3.1 targeting Go.
+//
+// Usage:
+//
+//	fmmgen -alg strassen -pkg generated -func MultiplyStrassen -o strassen.go
+//	fmmgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastmm/internal/catalog"
+	"fastmm/internal/codegen"
+)
+
+func main() {
+	alg := flag.String("alg", "strassen", "catalog algorithm to generate code for")
+	pkg := flag.String("pkg", "generated", "package name of the emitted file")
+	fn := flag.String("func", "MultiplyStrassen", "exported function name")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list catalog algorithms and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range catalog.Names() {
+			a := catalog.MustGet(n)
+			fmt.Printf("%-14s %v rank %d\n", n, a.Base, a.Rank())
+		}
+		return
+	}
+
+	a, err := catalog.Get(*alg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	src, err := codegen.Generate(a, *pkg, *fn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(src)
+		return
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(src))
+}

@@ -1,0 +1,152 @@
+// Command fmmsearch runs the numerical search for fast matrix-multiplication
+// algorithms (§2.3.2 of the paper): multi-start alternating least squares on
+// the ⟨M,K,N⟩ tensor, followed by discretization — rounding/exactification
+// for near-discrete solutions and the progressive-freezing sieve for generic
+// ones. Verified finds are written as coefficient files loadable with
+// -verify (and embeddable in the catalog).
+//
+// Usage:
+//
+//	fmmsearch -m 2 -k 2 -n 2 -rank 7 -starts 20        # rediscover Strassen-rank
+//	fmmsearch -m 3 -k 2 -n 3 -rank 15 -starts 200 -sieve -o fast323.txt
+//	fmmsearch -verify fast323.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"fastmm/internal/algo"
+	"fastmm/internal/search"
+	"fastmm/internal/tensor"
+)
+
+func main() {
+	m := flag.Int("m", 2, "base case M")
+	k := flag.Int("k", 2, "base case K")
+	n := flag.Int("n", 2, "base case N")
+	rank := flag.Int("rank", 7, "target rank R")
+	starts := flag.Int("starts", 40, "random starts")
+	iters := flag.Int("iters", 3000, "ALS iterations per start")
+	sieve := flag.Bool("sieve", true, "run the progressive-freezing sieve on converged starts")
+	seed := flag.Int64("seed", 1000, "base RNG seed")
+	out := flag.String("o", "", "write the found algorithm to this coefficient file")
+	verify := flag.String("verify", "", "parse and verify a coefficient file, then exit")
+	workers := flag.Int("workers", 0, "parallel search workers (default GOMAXPROCS, capped at 12)")
+	flag.Parse()
+
+	if *verify != "" {
+		f, err := os.Open(*verify)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		a, err := algo.Parse(f, *verify)
+		if err != nil {
+			fatal(err)
+		}
+		if err := a.Verify(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid %v algorithm, rank %d (exponent %.3f)\n", *verify, a.Base, a.Rank(), a.Exponent())
+		return
+	}
+
+	bc := algo.BaseCase{M: *m, K: *k, N: *n}
+	t := tensor.MatMul(bc.M, bc.K, bc.N)
+	w := *workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > 12 {
+		w = 12
+	}
+
+	fmt.Printf("searching %v at rank %d (%d starts, %d iters, %d workers)\n", bc, *rank, *starts, *iters, w)
+	seeds := make(chan int64, *starts)
+	for s := 0; s < *starts; s++ {
+		seeds <- *seed + int64(s)
+	}
+	close(seeds)
+
+	var mu sync.Mutex
+	var found *algo.Algorithm
+	bestRes := 1e18
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sd := range seeds {
+				mu.Lock()
+				done := found != nil
+				mu.Unlock()
+				if done {
+					return
+				}
+				res, _ := search.ALS(t, search.Options{
+					Rank: *rank, MaxIter: *iters, Tol: 1e-10, Starts: 1, Seed: sd, Reg: 5e-3,
+				})
+				if res == nil {
+					continue
+				}
+				mu.Lock()
+				if res.Residual < bestRes {
+					bestRes = res.Residual
+					fmt.Printf("  seed %d: residual %.3g (best so far, %v elapsed)\n", sd, res.Residual, time.Since(start).Round(time.Second))
+				}
+				mu.Unlock()
+				if res.Residual > 1e-5 {
+					continue
+				}
+				name := fmt.Sprintf("found%d%d%d_%d", bc.M, bc.K, bc.N, *rank)
+				a, err := search.Exactify(bc, res.U, res.V, res.W, name, 0.08)
+				if err != nil && *sieve {
+					a, err = search.Sieve(bc, res.U, res.V, res.W, name)
+				}
+				if err != nil {
+					fmt.Printf("  seed %d: converged (%.3g) but not discretizable: %v\n", sd, res.Residual, err)
+					continue
+				}
+				mu.Lock()
+				if found == nil {
+					found = a
+				}
+				mu.Unlock()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+
+	if found == nil {
+		fmt.Printf("no exact rank-%d algorithm found (best residual %.3g, %v)\n", *rank, bestRes, time.Since(start).Round(time.Second))
+		os.Exit(1)
+	}
+	fmt.Printf("FOUND exact rank-%d algorithm for %v in %v\n", *rank, bc, time.Since(start).Round(time.Second))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := algo.Format(f, found); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
+	if err := algo.Format(os.Stdout, found); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Rectangular: the paper's central practical finding — for rectangular
+// problems, fast algorithms whose base case "matches the shape" beat both
+// Strassen and the classical kernel. This example multiplies an
+// outer-product-shaped problem N×K×N (large N, small K) with a set of
+// algorithms and reports effective GFLOPS.
+//
+//	go run ./examples/rectangular [N] [K]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"fastmm"
+)
+
+func main() {
+	n, k := 2048, 384
+	if len(os.Args) > 1 {
+		n, _ = strconv.Atoi(os.Args[1])
+	}
+	if len(os.Args) > 2 {
+		k, _ = strconv.Atoi(os.Args[2])
+	}
+
+	A := fastmm.RandomMatrix(n, k, 1)
+	B := fastmm.RandomMatrix(k, n, 2)
+	C := fastmm.NewMatrix(n, n)
+
+	fmt.Printf("outer-product shape: %d × %d × %d\n\n", n, k, n)
+
+	start := time.Now()
+	fastmm.Classical(C, A, B)
+	report("classical", n, k, n, time.Since(start))
+
+	// ⟨4,2,4⟩ matches the outer-product shape: wide split in M and N, a
+	// single split in K. ⟨3,2,3⟩ similarly. Strassen ⟨2,2,2⟩ splits K as
+	// aggressively as M and N, which the thin K dimension cannot sustain.
+	for _, name := range []string{"fast424", "fast323", "strassen"} {
+		best := time.Duration(0)
+		for _, steps := range []int{1, 2} {
+			exec, err := fastmm.NewExecutor(name, fastmm.Options{Steps: steps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			if err := exec.Multiply(C, A, B); err != nil {
+				log.Fatal(err)
+			}
+			el := time.Since(start)
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		report(name+" (best of 1-2 steps)", n, k, n, best)
+	}
+
+	fmt.Println("\npaper's Fig. 5 (bottom left): shape-matched algorithms win this")
+	fmt.Println("shape outright. This repo's <4,2,4> substitute saves 14% multiplies")
+	fmt.Println("per step vs the paper's 23% (rank 28 vs 26 — see DESIGN.md §2.1),")
+	fmt.Println("so expect the shape-matched entries to lead the *fast* algorithms")
+	fmt.Println("and to close on strassen/classical as N grows.")
+}
+
+func report(name string, p, q, r int, d time.Duration) {
+	fmt.Printf("  %-26s %8.3fs  %6.2f effective GFLOPS\n",
+		name, d.Seconds(), fastmm.EffectiveGFLOPS(p, q, r, d.Seconds()))
+}

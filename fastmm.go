@@ -1,0 +1,174 @@
+// Package fastmm is a practical framework for fast (sub-cubic) matrix
+// multiplication on shared-memory machines, reproducing Benson & Ballard,
+// "A Framework for Practical Parallel Fast Matrix Multiplication"
+// (PPoPP 2015).
+//
+// A fast algorithm is a low-rank decomposition JU,V,WK of the ⟨M,K,N⟩
+// matrix-multiplication tensor; this package ships a catalog of more than
+// twenty of them (Strassen, Strassen-Winograd, Hopcroft-Kerr-rank ⟨2,2,N⟩
+// variants, rectangular base cases, and compositions such as the ⟨54,54,54⟩
+// algorithm), a recursive executor with dynamic peeling and three
+// matrix-addition strategies, three shared-memory schedulers (DFS, BFS,
+// HYBRID), a classical blocked gemm used both as base case and baseline, and
+// the ALS-based numerical search for discovering new algorithms.
+//
+// Quick start:
+//
+//	A := fastmm.NewMatrix(n, n) // fill it
+//	B := fastmm.NewMatrix(n, n)
+//	C := fastmm.NewMatrix(n, n)
+//	err := fastmm.Multiply(C, A, B, "strassen", fastmm.Options{Steps: 2})
+//
+// For repeated multiplications build an Executor once:
+//
+//	exec, err := fastmm.NewExecutor("fast424", fastmm.Options{
+//		Steps:    2,
+//		Parallel: fastmm.Hybrid,
+//		Workers:  6,
+//	})
+//	err = exec.Multiply(C, A, B)
+package fastmm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastmm/internal/addchain"
+	"fastmm/internal/algo"
+	"fastmm/internal/catalog"
+	"fastmm/internal/core"
+	"fastmm/internal/gemm"
+	"fastmm/internal/mat"
+)
+
+// Matrix is a dense row-major float64 matrix with cheap rectangular views.
+type Matrix = mat.Dense
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
+
+// MatrixFromRows builds a matrix from a slice of equal-length rows (copied).
+func MatrixFromRows(rows [][]float64) *Matrix { return mat.FromRows(rows) }
+
+// MatrixFromSlice wraps row-major data of length r*c without copying.
+func MatrixFromSlice(r, c int, data []float64) *Matrix { return mat.FromSlice(r, c, data) }
+
+// RandomMatrix returns an r×c matrix with entries uniform in [-1, 1).
+func RandomMatrix(r, c int, seed int64) *Matrix {
+	m := mat.New(r, c)
+	m.FillRandom(rand.New(rand.NewSource(seed)))
+	return m
+}
+
+// Algorithm is a fast matrix-multiplication algorithm JU,V,WK for a base
+// case ⟨M,K,N⟩.
+type Algorithm = algo.Algorithm
+
+// BaseCase identifies a block multiplication shape ⟨M,K,N⟩.
+type BaseCase = algo.BaseCase
+
+// Options configures the executor; the zero value gives sequential
+// execution, write-once additions, and automatic recursion cutoff.
+type Options = core.Options
+
+// Executor runs a fixed algorithm schedule; it is safe for concurrent use.
+type Executor = core.Executor
+
+// Strategy selects the matrix-addition implementation (§3.2 of the paper).
+type Strategy = addchain.Strategy
+
+// Addition strategies.
+const (
+	Pairwise  = addchain.Pairwise
+	WriteOnce = addchain.WriteOnce
+	Streaming = addchain.Streaming
+)
+
+// Parallel selects the shared-memory scheduler (§4 of the paper).
+type Parallel = core.Parallel
+
+// Schedulers.
+const (
+	Sequential = core.Sequential
+	DFS        = core.DFS
+	BFS        = core.BFS
+	Hybrid     = core.Hybrid
+)
+
+// Algorithms lists the names of all catalog algorithms.
+func Algorithms() []string { return catalog.Names() }
+
+// GetAlgorithm returns a catalog algorithm by name (e.g. "strassen",
+// "winograd", "fast424", "classical222").
+func GetAlgorithm(name string) (*Algorithm, error) { return catalog.Get(name) }
+
+// AlgorithmsForBase lists catalog algorithms for one base case, sorted by
+// rank.
+func AlgorithmsForBase(bc BaseCase) []string { return catalog.ForBase(bc) }
+
+// NewExecutor builds an executor for the named catalog algorithm.
+func NewExecutor(name string, opts Options) (*Executor, error) {
+	a, err := catalog.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(a, opts)
+}
+
+// NewExecutorFor builds an executor for a caller-supplied algorithm (for
+// example one found with the search API); the algorithm is verified first.
+func NewExecutorFor(a *Algorithm, opts Options) (*Executor, error) {
+	return core.New(a, opts)
+}
+
+// NewScheduleExecutor builds an executor that cycles through the named
+// algorithms by recursion level, e.g. the paper's ⟨54,54,54⟩ composition
+// {"fast336", "fast363", "fast633"}.
+func NewScheduleExecutor(names []string, opts Options) (*Executor, error) {
+	algs := make([]*Algorithm, len(names))
+	for i, n := range names {
+		a, err := catalog.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		algs[i] = a
+	}
+	return core.NewSchedule(algs, opts)
+}
+
+// Multiply computes C = A·B with the named fast algorithm.
+func Multiply(C, A, B *Matrix, algorithm string, opts Options) error {
+	e, err := NewExecutor(algorithm, opts)
+	if err != nil {
+		return err
+	}
+	return e.Multiply(C, A, B)
+}
+
+// Classical computes C = A·B with the blocked classical kernel (the
+// repository's vendor-dgemm stand-in), sequentially.
+func Classical(C, A, B *Matrix) { gemm.Mul(C, A, B) }
+
+// ClassicalParallel computes C = A·B with the classical kernel using up to
+// workers goroutines.
+func ClassicalParallel(C, A, B *Matrix, workers int) { gemm.MulParallel(C, 1, A, B, workers) }
+
+// EffectiveGFLOPS is the paper's Equation (3) metric for a P×Q×R
+// multiplication: (2PQR − PR) / time · 1e-9. It equals true GFLOPS for the
+// classical algorithm and normalizes fast algorithms onto the same
+// inverse-time scale.
+func EffectiveGFLOPS(p, q, r int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return (2*float64(p)*float64(q)*float64(r) - float64(p)*float64(r)) / seconds * 1e-9
+}
+
+// Verify checks that an algorithm is an exact (or, for APA algorithms,
+// O(λ)-accurate) decomposition of its base-case tensor.
+func Verify(a *Algorithm) error {
+	if a == nil {
+		return fmt.Errorf("fastmm: nil algorithm")
+	}
+	return a.Verify()
+}

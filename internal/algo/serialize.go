@@ -1,0 +1,96 @@
+package algo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fastmm/internal/mat"
+)
+
+// Format writes a in the coefficient-file layout used by the fast-matmul
+// literature: a header line "M K N R", then the rows of U, V, and W (blank
+// line between blocks). Lines starting with '#' are comments.
+func Format(w io.Writer, a *Algorithm) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", a.Name)
+	fmt.Fprintf(bw, "%d %d %d %d\n", a.Base.M, a.Base.K, a.Base.N, a.Rank())
+	for _, m := range []*mat.Dense{a.U, a.V, a.W} {
+		fmt.Fprintln(bw)
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if j > 0 {
+					bw.WriteByte(' ')
+				}
+				fmt.Fprintf(bw, "%g", m.At(i, j))
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads an algorithm in the Format layout. The parsed algorithm is
+// named name and is not verified; call Verify.
+func Parse(r io.Reader, name string) (*Algorithm, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var fields [][]float64
+	var header []int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if header == nil {
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("algo: header needs 4 ints, got %q", line)
+			}
+			header = make([]int, 4)
+			for i, p := range parts {
+				v, err := strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("algo: bad header %q: %v", line, err)
+				}
+				header[i] = v
+			}
+			continue
+		}
+		row := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, fmt.Errorf("algo: bad value %q: %v", p, err)
+			}
+			row[i] = v
+		}
+		fields = append(fields, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if header == nil {
+		return nil, fmt.Errorf("algo: missing header")
+	}
+	m, k, n, rank := header[0], header[1], header[2], header[3]
+	want := m*k + k*n + m*n
+	if len(fields) != want {
+		return nil, fmt.Errorf("algo: got %d coefficient rows, want %d", len(fields), want)
+	}
+	for i, row := range fields {
+		if len(row) != rank {
+			return nil, fmt.Errorf("algo: row %d has %d entries, want rank %d", i, len(row), rank)
+		}
+	}
+	a := &Algorithm{
+		Name: name,
+		Base: BaseCase{m, k, n},
+		U:    mat.FromRows(fields[:m*k]),
+		V:    mat.FromRows(fields[m*k : m*k+k*n]),
+		W:    mat.FromRows(fields[m*k+k*n:]),
+	}
+	return a, nil
+}

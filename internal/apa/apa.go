@@ -1,0 +1,234 @@
+// Package apa implements arbitrary-precision-approximate (APA) algorithm
+// machinery (Benson & Ballard §2.2.3): factor matrices whose entries are
+// Laurent polynomials in a parameter λ, symbolic verification that a
+// candidate is a *border* decomposition (reconstruction error O(λ)), and
+// instantiation at a concrete λ for numerical use. The paper's Bini ⟨3,2,2⟩
+// and Schönhage ⟨3,3,3⟩ algorithms are of this kind; their published
+// coefficient tables are not reconstructible offline (see DESIGN.md §2.1),
+// so the machinery is exercised on classical border-rank examples and is
+// ready for coefficients produced by the search tooling.
+package apa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fastmm/internal/algo"
+	"fastmm/internal/mat"
+	"fastmm/internal/tensor"
+)
+
+// Poly is a Laurent polynomial in λ: a map from exponent to coefficient.
+// The zero map is the zero polynomial.
+type Poly map[int]float64
+
+// Const returns the constant polynomial c.
+func Const(c float64) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	return Poly{0: c}
+}
+
+// Term returns c·λ^k.
+func Term(c float64, k int) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	return Poly{k: c}
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	out := Poly{}
+	for k, c := range p {
+		out[k] += c
+	}
+	for k, c := range q {
+		out[k] += c
+	}
+	out.trim()
+	return out
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	out := Poly{}
+	for k1, c1 := range p {
+		for k2, c2 := range q {
+			out[k1+k2] += c1 * c2
+		}
+	}
+	out.trim()
+	return out
+}
+
+// Scale returns c·p.
+func (p Poly) Scale(c float64) Poly {
+	out := Poly{}
+	for k, v := range p {
+		out[k] = c * v
+	}
+	out.trim()
+	return out
+}
+
+func (p Poly) trim() {
+	for k, v := range p {
+		if math.Abs(v) < 1e-12 {
+			delete(p, k)
+		}
+	}
+}
+
+// IsZero reports whether p is (numerically) zero.
+func (p Poly) IsZero() bool {
+	for _, v := range p {
+		if math.Abs(v) >= 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDegree returns the smallest exponent with a nonzero coefficient;
+// MaxInt for the zero polynomial.
+func (p Poly) MinDegree() int {
+	min := math.MaxInt
+	for k, v := range p {
+		if math.Abs(v) >= 1e-12 && k < min {
+			min = k
+		}
+	}
+	return min
+}
+
+// Eval evaluates p at a concrete λ.
+func (p Poly) Eval(lambda float64) float64 {
+	var s float64
+	for k, c := range p {
+		s += c * math.Pow(lambda, float64(k))
+	}
+	return s
+}
+
+// String renders the polynomial for diagnostics, lowest degree first.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	keys := make([]int, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var parts []string
+	for _, k := range keys {
+		switch {
+		case k == 0:
+			parts = append(parts, fmt.Sprintf("%g", p[k]))
+		case k == 1:
+			parts = append(parts, fmt.Sprintf("%g·λ", p[k]))
+		default:
+			parts = append(parts, fmt.Sprintf("%g·λ^%d", p[k], k))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Matrix is a matrix of Laurent polynomials.
+type Matrix struct {
+	Rows, Cols int
+	At         [][]Poly
+}
+
+// NewMatrix returns a zeroed rows×cols polynomial matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	at := make([][]Poly, rows)
+	for i := range at {
+		at[i] = make([]Poly, cols)
+		for j := range at[i] {
+			at[i][j] = Poly{}
+		}
+	}
+	return &Matrix{Rows: rows, Cols: cols, At: at}
+}
+
+// Algorithm is an APA algorithm: JU,V,WK with polynomial entries, valid in
+// the limit λ→0.
+type Algorithm struct {
+	Name    string
+	Base    algo.BaseCase
+	U, V, W *Matrix
+}
+
+// Rank returns the number of multiplications.
+func (a *Algorithm) Rank() int { return a.U.Cols }
+
+// VerifyBorder checks symbolically that the decomposition reconstructs the
+// ⟨M,K,N⟩ tensor up to terms of strictly positive degree in λ — i.e. that it
+// is a border (APA) decomposition with error O(λ). Order reports the leading
+// error degree (≥1); an exact algorithm returns order = MaxInt.
+func (a *Algorithm) VerifyBorder() (order int, err error) {
+	b := a.Base
+	if a.U.Rows != b.M*b.K || a.V.Rows != b.K*b.N || a.W.Rows != b.M*b.N {
+		return 0, fmt.Errorf("apa: factor shapes do not match base case %v", b)
+	}
+	if a.V.Cols != a.U.Cols || a.W.Cols != a.U.Cols {
+		return 0, fmt.Errorf("apa: rank mismatch")
+	}
+	want := tensor.MatMul(b.M, b.K, b.N)
+	order = math.MaxInt
+	for i := 0; i < a.U.Rows; i++ {
+		for j := 0; j < a.V.Rows; j++ {
+			for k := 0; k < a.W.Rows; k++ {
+				sum := Poly{}
+				for r := 0; r < a.Rank(); r++ {
+					sum = sum.Add(a.U.At[i][r].Mul(a.V.At[j][r]).Mul(a.W.At[k][r]))
+				}
+				res := sum.Add(Const(-want.At(i, j, k)))
+				if res.IsZero() {
+					continue
+				}
+				d := res.MinDegree()
+				if d < 1 {
+					return 0, fmt.Errorf("apa: entry (%d,%d,%d) has residual %v with non-positive degree %d", i, j, k, res, d)
+				}
+				if d < order {
+					order = d
+				}
+			}
+		}
+	}
+	return order, nil
+}
+
+// Instantiate evaluates the polynomial factors at a concrete λ and returns a
+// numerical algorithm marked APA. Following §2.2.3, λ = √ε (ε machine
+// precision) balances the O(λ) truncation error against the O(1/λ)
+// cancellation error for order-1 border decompositions.
+func (a *Algorithm) Instantiate(lambda float64) *algo.Algorithm {
+	ev := func(m *Matrix) *mat.Dense {
+		out := mat.New(m.Rows, m.Cols)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				out.Set(i, j, m.At[i][j].Eval(lambda))
+			}
+		}
+		return out
+	}
+	return &algo.Algorithm{
+		Name:   fmt.Sprintf("%s@%g", a.Name, lambda),
+		Base:   a.Base,
+		U:      ev(a.U),
+		V:      ev(a.V),
+		W:      ev(a.W),
+		APA:    true,
+		Lambda: lambda,
+	}
+}
+
+// DefaultLambda is √ε for float64 (§2.2.3).
+var DefaultLambda = math.Sqrt(2.220446049250313e-16)

@@ -1,0 +1,184 @@
+package apa
+
+import (
+	"math"
+	"testing"
+
+	"fastmm/internal/algo"
+	"fastmm/internal/catalog"
+	"fastmm/internal/tensor"
+)
+
+func TestPolyArithmetic(t *testing.T) {
+	p := Term(2, 1).Add(Const(3)) // 3 + 2λ
+	q := Term(1, -1)              // λ⁻¹
+	pq := p.Mul(q)                // 3λ⁻¹ + 2
+	if pq.Eval(0.5) != 3/0.5+2 {
+		t.Fatalf("eval=%v", pq.Eval(0.5))
+	}
+	if pq.MinDegree() != -1 {
+		t.Fatalf("min degree %d", pq.MinDegree())
+	}
+	if !Const(0).IsZero() || !(Poly{}).IsZero() {
+		t.Fatal("zero poly")
+	}
+	if s := p.String(); s != "3 + 2·λ" {
+		t.Fatalf("string %q", s)
+	}
+	if Term(1, 1).Add(Term(-1, 1)).String() != "0" {
+		t.Fatal("cancellation should trim to zero")
+	}
+}
+
+func TestPolyScale(t *testing.T) {
+	p := Term(4, 2).Scale(0.25)
+	if p.Eval(2) != 4 { // λ² at λ=2 → 4, coeff 1
+		t.Fatalf("scale: %v", p.Eval(2))
+	}
+	if !Term(1, 0).Scale(0).IsZero() {
+		t.Fatal("scale by 0")
+	}
+}
+
+// wState builds the classic border-rank-2 decomposition of the rank-3
+// "W-state" tensor u1v1w2 + u1v2w1 + u2v1w1:
+// (1/λ)(u1+λu2)⊗(v1+λv2)⊗(w1+λw2) − (1/λ)u1⊗v1⊗w1.
+// It is the canonical example that border rank < rank, the phenomenon APA
+// algorithms exploit (§2.2.3).
+func wState() *Algorithm {
+	u := NewMatrix(2, 2)
+	v := NewMatrix(2, 2)
+	w := NewMatrix(2, 2)
+	// Column 0: (u1+λu2)⊗(v1+λv2)⊗(λ⁻¹)(w1+λw2)
+	u.At[0][0] = Const(1)
+	u.At[1][0] = Term(1, 1)
+	v.At[0][0] = Const(1)
+	v.At[1][0] = Term(1, 1)
+	w.At[0][0] = Term(1, -1)
+	w.At[1][0] = Const(1)
+	// Column 1: −(1/λ)u1⊗v1⊗w1
+	u.At[0][1] = Const(1)
+	v.At[0][1] = Const(1)
+	w.At[0][1] = Term(-1, -1)
+	return &Algorithm{Name: "w-state", U: u, V: v, W: w,
+		Base: algo.BaseCase{M: 2, K: 1, N: 2}} // placeholder base; see test
+}
+
+func TestWStateBorderDecomposition(t *testing.T) {
+	// Verify against the W tensor directly (not a matmul tensor): check
+	// the reconstruction residual is O(λ) entrywise.
+	a := wState()
+	want := tensor.New(2, 2, 2)
+	want.Set(0, 0, 1, 1)
+	want.Set(0, 1, 0, 1)
+	want.Set(1, 0, 0, 1)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				sum := Poly{}
+				for r := 0; r < 2; r++ {
+					sum = sum.Add(a.U.At[i][r].Mul(a.V.At[j][r]).Mul(a.W.At[k][r]))
+				}
+				res := sum.Add(Const(-want.At(i, j, k)))
+				if !res.IsZero() && res.MinDegree() < 1 {
+					t.Fatalf("entry (%d,%d,%d): residual %v", i, j, k, res)
+				}
+			}
+		}
+	}
+}
+
+// exactAsAPA wraps an exact algorithm in polynomial form; VerifyBorder must
+// accept it (residual identically zero).
+func exactAsAPA(name string) *Algorithm {
+	e := catalog.MustGet(name)
+	conv := func(m interface {
+		Rows() int
+		Cols() int
+		At(int, int) float64
+	}) *Matrix {
+		out := NewMatrix(m.Rows(), m.Cols())
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				out.At[i][j] = Const(m.At(i, j))
+			}
+		}
+		return out
+	}
+	return &Algorithm{Name: name, Base: e.Base, U: conv(e.U), V: conv(e.V), W: conv(e.W)}
+}
+
+func TestVerifyBorderAcceptsExact(t *testing.T) {
+	a := exactAsAPA("strassen")
+	order, err := a.VerifyBorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != math.MaxInt {
+		t.Fatalf("exact algorithm should have no residual, got order %d", order)
+	}
+}
+
+func TestVerifyBorderRejectsWrong(t *testing.T) {
+	a := exactAsAPA("strassen")
+	a.U.At[0][0] = Const(2) // corrupt an O(1) coefficient
+	if _, err := a.VerifyBorder(); err == nil {
+		t.Fatal("corrupted algorithm must fail border verification")
+	}
+}
+
+func TestVerifyBorderShapeErrors(t *testing.T) {
+	a := exactAsAPA("strassen")
+	a.Base = algo.BaseCase{M: 2, K: 2, N: 3}
+	if _, err := a.VerifyBorder(); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestInstantiateExact(t *testing.T) {
+	a := exactAsAPA("strassen")
+	inst := a.Instantiate(DefaultLambda)
+	if !inst.APA || inst.Lambda != DefaultLambda {
+		t.Fatal("instantiation metadata")
+	}
+	// An exact algorithm instantiates to itself and passes (APA-tolerance)
+	// verification trivially.
+	if err := inst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstantiateBorderErrorScalesWithLambda(t *testing.T) {
+	// For a true border decomposition the instantiated reconstruction
+	// error is Θ(λ): check it shrinks when λ does.
+	a := wState()
+	errAt := func(lambda float64) float64 {
+		want := tensor.New(2, 2, 2)
+		want.Set(0, 0, 1, 1)
+		want.Set(0, 1, 0, 1)
+		want.Set(1, 0, 0, 1)
+		var worst float64
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				for k := 0; k < 2; k++ {
+					var s float64
+					for r := 0; r < 2; r++ {
+						s += a.U.At[i][r].Eval(lambda) * a.V.At[j][r].Eval(lambda) * a.W.At[k][r].Eval(lambda)
+					}
+					if d := math.Abs(s - want.At(i, j, k)); d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+		return worst
+	}
+	e1, e2 := errAt(1e-2), errAt(1e-4)
+	if e1 <= 0 || e2 <= 0 {
+		t.Fatal("border instantiation should have nonzero error")
+	}
+	ratio := e1 / e2
+	if ratio < 50 || ratio > 200 { // Θ(λ): ratio ≈ 100
+		t.Fatalf("error should scale linearly with λ: e(1e-2)=%g e(1e-4)=%g", e1, e2)
+	}
+}

@@ -1,0 +1,338 @@
+// Package catalog holds the repository's named fast matrix-multiplication
+// algorithms — the Go analogue of the coefficient files driving Benson &
+// Ballard's code generator. Every entry is an exact bilinear algorithm
+// (verified by the test suite against the ⟨M,K,N⟩ tensor); Table 2 of the
+// paper is regenerated from these entries by cmd/fmminfo.
+//
+// Entries whose published coefficients are not reconstructible offline are
+// built by the splitting/composition constructions of internal/algo, which
+// yields exact algorithms whose rank may exceed the paper's (see DESIGN.md
+// §2.1 for the per-entry provenance and rank comparison).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fastmm/internal/algo"
+	"fastmm/internal/mat"
+)
+
+// PaperRank records the rank reported in Table 2 of the paper for a base
+// case (0 when the paper does not list it). Used by fmminfo to report
+// "paper vs repo" honestly.
+type Entry struct {
+	Name      string
+	PaperRank int
+	Build     func() *algo.Algorithm
+}
+
+var (
+	mu      sync.Mutex
+	cache   = map[string]*algo.Algorithm{}
+	entries = map[string]Entry{}
+	order   []string
+)
+
+func register(name string, paperRank int, build func() *algo.Algorithm) {
+	if _, dup := entries[name]; dup {
+		panic("catalog: duplicate algorithm " + name)
+	}
+	entries[name] = Entry{Name: name, PaperRank: paperRank, Build: build}
+	order = append(order, name)
+}
+
+// Get returns the named algorithm, building and caching it on first use.
+// Builders may recursively Get other entries, so the lock is not held while
+// building (a rare duplicate build is idempotent).
+func Get(name string) (*algo.Algorithm, error) {
+	mu.Lock()
+	if a, ok := cache[name]; ok {
+		mu.Unlock()
+		return a, nil
+	}
+	e, ok := entries[name]
+	mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown algorithm %q (known: %v)", name, Names())
+	}
+	a := e.Build()
+	a.Name = name
+	mu.Lock()
+	cache[name] = a
+	mu.Unlock()
+	return a, nil
+}
+
+// MustGet is Get for callers with a static name.
+func MustGet(name string) *algo.Algorithm {
+	a, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names returns all registered algorithm names in registration order.
+// The registry is immutable after init, so no locking is needed.
+func Names() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// PaperRankOf returns the Table 2 rank for the entry (0 if unlisted).
+func PaperRankOf(name string) int { return entries[name].PaperRank }
+
+// ForBase returns the names of all algorithms with the given base case,
+// sorted by rank (ascending).
+func ForBase(bc algo.BaseCase) []string {
+	var out []string
+	for _, n := range Names() {
+		if a, err := Get(n); err == nil && a.Base == bc {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return MustGet(out[i]).Rank() < MustGet(out[j]).Rank() })
+	return out
+}
+
+// Strassen returns Strassen's ⟨2,2,2⟩ algorithm.
+func Strassen() *algo.Algorithm { return MustGet("strassen") }
+
+// Winograd returns the Strassen-Winograd variant (7 multiplications, 15
+// chained additions).
+func Winograd() *algo.Algorithm { return MustGet("winograd") }
+
+// strassen builds the algorithm from the paper's §2.2.2 factor matrices.
+func strassen() *algo.Algorithm {
+	return &algo.Algorithm{
+		Base: algo.BaseCase{M: 2, K: 2, N: 2},
+		U: mat.FromRows([][]float64{
+			{1, 0, 1, 0, 1, -1, 0},
+			{0, 0, 0, 0, 1, 0, 1},
+			{0, 1, 0, 0, 0, 1, 0},
+			{1, 1, 0, 1, 0, 0, -1},
+		}),
+		V: mat.FromRows([][]float64{
+			{1, 1, 0, -1, 0, 1, 0},
+			{0, 0, 1, 0, 0, 1, 0},
+			{0, 0, 0, 1, 0, 0, 1},
+			{1, 0, -1, 0, 1, 0, 1},
+		}),
+		W: mat.FromRows([][]float64{
+			{1, 0, 0, 1, -1, 0, 1},
+			{0, 0, 1, 0, 1, 0, 0},
+			{0, 1, 0, 1, 0, 0, 0},
+			{1, -1, 1, 0, 0, 1, 0},
+		}),
+	}
+}
+
+// winograd builds the Strassen-Winograd variant, which performs the same 7
+// multiplications but only 15 additions when the addition chains share
+// intermediates (the optimum, per Probert):
+//
+//	M1 = A11·B11                 M2 = A12·B21
+//	M3 = (A11+A12−A21−A22)·B22   M4 = A22·(B11−B12−B21+B22)
+//	M5 = (A21+A22)·(B12−B11)     M6 = (A21+A22−A11)·(B11−B12+B22)
+//	M7 = (A11−A21)·(B22−B12)
+//	C11 = M1+M2        C12 = M1+M3+M5+M6
+//	C21 = M1−M4+M6+M7  C22 = M1+M5+M6+M7
+func winograd() *algo.Algorithm {
+	return &algo.Algorithm{
+		Base: algo.BaseCase{M: 2, K: 2, N: 2},
+		U: mat.FromRows([][]float64{
+			{1, 0, 1, 0, 0, -1, 1},
+			{0, 1, 1, 0, 0, 0, 0},
+			{0, 0, -1, 0, 1, 1, -1},
+			{0, 0, -1, 1, 1, 1, 0},
+		}),
+		V: mat.FromRows([][]float64{
+			{1, 0, 0, 1, -1, 1, 0},
+			{0, 0, 0, -1, 1, -1, -1},
+			{0, 1, 0, -1, 0, 0, 0},
+			{0, 0, 1, 1, 0, 1, 1},
+		}),
+		W: mat.FromRows([][]float64{
+			{1, 1, 0, 0, 0, 0, 0},
+			{1, 0, 1, 0, 1, 1, 0},
+			{1, 0, 0, -1, 0, 1, 1},
+			{1, 0, 0, 0, 1, 1, 1},
+		}),
+	}
+}
+
+func classical(m, k, n int) func() *algo.Algorithm {
+	return func() *algo.Algorithm { return algo.Classical(m, k, n) }
+}
+
+// derive reduces boilerplate for entries built from other entries.
+func derive(f func() *algo.Algorithm) func() *algo.Algorithm { return f }
+
+func mustSplitN(a, b *algo.Algorithm) *algo.Algorithm {
+	out, err := algo.SplitN(a, b, "")
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustSplitM(a, b *algo.Algorithm) *algo.Algorithm {
+	out, err := algo.SplitM(a, b, "")
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustSplitK(a, b *algo.Algorithm) *algo.Algorithm {
+	out, err := algo.SplitK(a, b, "")
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustPermute(a *algo.Algorithm, bc algo.BaseCase) *algo.Algorithm {
+	out, err := algo.Permute(a, bc, "")
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func init() {
+	register("strassen", 7, strassen)
+	register("winograd", 7, winograd)
+	register("classical222", 0, classical(2, 2, 2))
+
+	// ⟨2,2,N⟩ family: Strassen ⊕ classical column blocks reach the
+	// Hopcroft-Kerr ranks from Table 2 exactly.
+	register("fast223", 11, derive(func() *algo.Algorithm {
+		return mustSplitN(MustGet("strassen"), algo.Classical(2, 2, 1))
+	}))
+	register("fast224", 14, derive(func() *algo.Algorithm {
+		return algo.Compose(MustGet("strassen"), algo.Classical(1, 1, 2), "")
+	}))
+	register("fast225", 18, derive(func() *algo.Algorithm {
+		return mustSplitN(MustGet("fast224"), algo.Classical(2, 2, 1))
+	}))
+
+	// Permutations of the ⟨2,2,N⟩ family (Props 2.1/2.2).
+	register("fast232", 11, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast223"), algo.BaseCase{M: 2, K: 3, N: 2})
+	}))
+	register("fast322", 11, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast223"), algo.BaseCase{M: 3, K: 2, N: 2})
+	}))
+	register("fast422", 14, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast224"), algo.BaseCase{M: 4, K: 2, N: 2})
+	}))
+	register("fast242", 14, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast224"), algo.BaseCase{M: 2, K: 4, N: 2})
+	}))
+	register("fast522", 18, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast225"), algo.BaseCase{M: 5, K: 2, N: 2})
+	}))
+	register("fast252", 18, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast225"), algo.BaseCase{M: 2, K: 5, N: 2})
+	}))
+
+	// ⟨2,3,3⟩ family (paper rank 15; split construction gives 17 — see
+	// DESIGN.md §2.1; replaced by a search-found rank if available).
+	register("fast233", 15, derive(func() *algo.Algorithm {
+		if has("fast323x15") {
+			return mustPermute(MustGet("fast323x15"), algo.BaseCase{M: 2, K: 3, N: 3})
+		}
+		return mustSplitK(MustGet("fast223"), algo.Classical(2, 1, 3))
+	}))
+	register("fast323", 15, derive(func() *algo.Algorithm {
+		if has("fast323x15") {
+			return MustGet("fast323x15").Clone()
+		}
+		return mustPermute(MustGet("fast233"), algo.BaseCase{M: 3, K: 2, N: 3})
+	}))
+	register("fast332", 15, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast233"), algo.BaseCase{M: 3, K: 3, N: 2})
+	}))
+
+	// ⟨2,3,4⟩ family (paper rank 20; split gives 22).
+	register("fast234", 20, derive(func() *algo.Algorithm {
+		return mustSplitN(MustGet("fast232"), MustGet("fast232"))
+	}))
+	register("fast243", 20, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast234"), algo.BaseCase{M: 2, K: 4, N: 3})
+	}))
+	register("fast324", 20, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast234"), algo.BaseCase{M: 3, K: 2, N: 4})
+	}))
+	register("fast342", 20, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast234"), algo.BaseCase{M: 3, K: 4, N: 2})
+	}))
+	register("fast423", 20, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast234"), algo.BaseCase{M: 4, K: 2, N: 3})
+	}))
+	register("fast432", 20, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast234"), algo.BaseCase{M: 4, K: 3, N: 2})
+	}))
+
+	// ⟨2,4,4⟩ family (paper rank 26; composition gives 28).
+	register("fast244", 26, derive(func() *algo.Algorithm {
+		return mustSplitK(MustGet("fast224"), MustGet("fast224"))
+	}))
+	register("fast424", 26, derive(func() *algo.Algorithm {
+		return algo.Compose(MustGet("strassen"), algo.Classical(2, 1, 2), "")
+	}))
+	register("fast442", 26, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast244"), algo.BaseCase{M: 4, K: 4, N: 2})
+	}))
+
+	// ⟨4,4,4⟩ = Strassen ∘ Strassen: one composed step is algebraically the
+	// same computation as two Strassen steps (tested in core), making it a
+	// clean ablation of interpreter overhead per recursion level.
+	register("fast444", 0, derive(func() *algo.Algorithm {
+		return algo.Compose(MustGet("strassen"), MustGet("strassen"), "")
+	}))
+
+	// ⟨3,3,3⟩ (paper rank 23, Laderman/Smirnov; split fallback).
+	register("fast333", 23, derive(func() *algo.Algorithm {
+		if has("laderman") {
+			return MustGet("laderman").Clone()
+		}
+		return mustSplitM(MustGet("fast233"), algo.Classical(1, 3, 3))
+	}))
+
+	// ⟨3,3,4⟩ family (paper rank 29; split fallback).
+	register("fast334", 29, derive(func() *algo.Algorithm {
+		return mustSplitN(MustGet("fast333"), algo.Classical(3, 3, 1))
+	}))
+	register("fast343", 29, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast334"), algo.BaseCase{M: 3, K: 4, N: 3})
+	}))
+	register("fast433", 29, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast334"), algo.BaseCase{M: 4, K: 3, N: 3})
+	}))
+
+	// ⟨3,4,4⟩ (paper rank 38; split fallback).
+	register("fast344", 38, derive(func() *algo.Algorithm {
+		return mustSplitK(MustGet("fast324"), MustGet("fast324"))
+	}))
+
+	// ⟨3,3,6⟩ family (paper rank 40, Smirnov; composition fallback).
+	register("fast336", 40, derive(func() *algo.Algorithm {
+		return algo.Compose(MustGet("fast333"), algo.Classical(1, 1, 2), "")
+	}))
+	register("fast363", 40, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast336"), algo.BaseCase{M: 3, K: 6, N: 3})
+	}))
+	register("fast633", 40, derive(func() *algo.Algorithm {
+		return mustPermute(MustGet("fast336"), algo.BaseCase{M: 6, K: 3, N: 3})
+	}))
+}
+
+func has(name string) bool {
+	_, ok := entries[name]
+	return ok
+}

@@ -1,0 +1,565 @@
+// Package core is the execution engine of the framework: it turns an
+// algorithm JU,V,WK from the catalog into an actual matrix multiplication,
+// the way Benson & Ballard's generated C++ does. One Executor owns the
+// addition plans (with the chosen strategy and optional CSE) and runs the
+// recursion with dynamic peeling for arbitrary dimensions (§3.5), piping
+// single-coefficient temporaries through to the base case as scalar factors
+// (§3.1), and calling the classical gemm kernel at the leaves (§3.4).
+//
+// Parallel execution follows §4: DFS (parallel leaf gemm and parallel
+// additions), BFS (a goroutine task per recursive multiplication, bounded by
+// a worker semaphore), and HYBRID (task parallelism for the load-balanced
+// prefix of leaf multiplications, then the remainder with all workers on
+// each).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastmm/internal/addchain"
+	"fastmm/internal/algo"
+	"fastmm/internal/gemm"
+	"fastmm/internal/mat"
+)
+
+// Parallel selects the scheduling scheme of §4.
+type Parallel int
+
+const (
+	// Sequential runs everything on the calling goroutine.
+	Sequential Parallel = iota
+	// DFS recurses sequentially and parallelizes the leaf gemm calls and
+	// the matrix additions (§4.1).
+	DFS
+	// BFS launches each recursive multiplication (with its additions) as a
+	// task; leaf gemms are sequential (§4.2).
+	BFS
+	// Hybrid runs the load-balanced prefix of leaf tasks BFS-style and the
+	// remaining leaves afterwards with all workers each (§4.3).
+	Hybrid
+)
+
+func (p Parallel) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Parallel(%d)", int(p))
+}
+
+// Options configures an Executor.
+type Options struct {
+	// Steps is the number of recursive steps before the classical base
+	// case. 0 selects automatic cutoff: recurse while every subproblem
+	// block dimension stays at least MinDim (§3.4's rule of thumb).
+	Steps int
+	// MinDim is the automatic-cutoff threshold (default 128). Explicit
+	// Steps ignore it, but a step is never taken on a subproblem smaller
+	// than one base-case block.
+	MinDim int
+	// Strategy picks the matrix-addition implementation (§3.2); default
+	// write-once, the paper's overall winner.
+	Strategy addchain.Strategy
+	// CSE applies greedy length-2 common-subexpression elimination to the
+	// S- and T-formation plans (§3.3).
+	CSE bool
+	// Parallel selects the scheduler; Workers bounds the goroutines used
+	// (default GOMAXPROCS).
+	Parallel Parallel
+	Workers  int
+	// Stats, when non-nil, accumulates scheduler counters across Multiply
+	// calls (atomic; safe under all schedulers). Used by tests and by the
+	// tracing output of cmd/fmmbench to validate §4's scheduling shapes.
+	Stats *Stats
+}
+
+// Stats counts scheduler events of a Multiply call (§4): how many leaf gemm
+// calls ran, how many were BFS-phase tasks vs HYBRID-deferred, how many
+// peeling fixups executed, and how many task goroutines were spawned.
+type Stats struct {
+	LeafCalls      int64
+	DeferredLeaves int64
+	FixupCalls     int64
+	TasksSpawned   int64
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	atomic.StoreInt64(&s.LeafCalls, 0)
+	atomic.StoreInt64(&s.DeferredLeaves, 0)
+	atomic.StoreInt64(&s.FixupCalls, 0)
+	atomic.StoreInt64(&s.TasksSpawned, 0)
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		LeafCalls:      atomic.LoadInt64(&s.LeafCalls),
+		DeferredLeaves: atomic.LoadInt64(&s.DeferredLeaves),
+		FixupCalls:     atomic.LoadInt64(&s.FixupCalls),
+		TasksSpawned:   atomic.LoadInt64(&s.TasksSpawned),
+	}
+}
+
+func (s *Stats) add(field *int64, n int64) {
+	if s != nil {
+		atomic.AddInt64(field, n)
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinDim == 0 {
+		o.MinDim = 128
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Steps < 0 {
+		o.Steps = 0
+	}
+	return o
+}
+
+// levelPlan holds the addition plans for one algorithm in the schedule.
+type levelPlan struct {
+	alg   *algo.Algorithm
+	splan *addchain.Plan // S_r from blocks of A (columns of U)
+	tplan *addchain.Plan // T_r from blocks of B (columns of V)
+	cplan *addchain.Plan // C blocks from the M_r (rows of W)
+}
+
+// Executor multiplies matrices with a fixed algorithm schedule and options.
+// It is safe for concurrent use by multiple goroutines.
+type Executor struct {
+	schedule []levelPlan
+	opts     Options
+}
+
+// New builds an executor for a single algorithm.
+func New(a *algo.Algorithm, opts Options) (*Executor, error) {
+	return NewSchedule([]*algo.Algorithm{a}, opts)
+}
+
+// NewSchedule builds an executor that cycles through the given algorithms by
+// recursion level — level ℓ uses algs[ℓ mod len(algs)]. This is how the
+// paper's ⟨54,54,54⟩ algorithm composes ⟨3,3,6⟩∘⟨3,6,3⟩∘⟨6,3,3⟩ (§5.2).
+func NewSchedule(algs []*algo.Algorithm, opts Options) (*Executor, error) {
+	if len(algs) == 0 {
+		return nil, fmt.Errorf("core: empty algorithm schedule")
+	}
+	opts = opts.withDefaults()
+	e := &Executor{opts: opts}
+	for _, a := range algs {
+		if a == nil {
+			return nil, fmt.Errorf("core: nil algorithm in schedule")
+		}
+		if err := a.Verify(); err != nil {
+			return nil, fmt.Errorf("core: refusing invalid algorithm: %w", err)
+		}
+		lp := levelPlan{
+			alg:   a,
+			splan: addchain.FromColumns(a.U),
+			tplan: addchain.FromColumns(a.V),
+			cplan: addchain.FromRows(a.W),
+		}
+		if opts.CSE {
+			lp.splan.ApplyCSE()
+			lp.tplan.ApplyCSE()
+		}
+		e.schedule = append(e.schedule, lp)
+	}
+	return e, nil
+}
+
+// Opts returns the executor's resolved options.
+func (e *Executor) Opts() Options { return e.opts }
+
+// Algorithm returns the first algorithm of the schedule.
+func (e *Executor) Algorithm() *algo.Algorithm { return e.schedule[0].alg }
+
+// Multiply computes C = A·B. C must be A.Rows()×B.Cols() and must not alias
+// A or B.
+func (e *Executor) Multiply(C, A, B *mat.Dense) error {
+	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
+		return fmt.Errorf("core: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
+			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
+	}
+	ctx := newRunContext(e.opts, e.leafCount())
+	ctx.root(func() {
+		e.multiply(ctx, C, A, B, 1, 0, 0)
+	})
+	return nil
+}
+
+// leafCount returns R^L, the number of leaf multiplications for explicit
+// Steps (used by Hybrid's load-balance split). For auto cutoff it returns 0
+// and Hybrid degrades to BFS.
+func (e *Executor) leafCount() int { return e.leavesFrom(0) }
+
+// leavesFrom returns the number of leaves of a full subtree rooted at the
+// given level (Π of the ranks of the remaining levels), or 0 in auto mode.
+func (e *Executor) leavesFrom(level int) int {
+	if e.opts.Steps == 0 {
+		return 0
+	}
+	n := 1
+	for l := level; l < e.opts.Steps; l++ {
+		n *= e.schedule[l%len(e.schedule)].alg.Rank()
+	}
+	return n
+}
+
+// shouldRecurse applies §3.4: an explicit step count is honored as long as
+// one base-case block fits; auto mode recurses while all block dimensions
+// stay at least MinDim.
+func (e *Executor) shouldRecurse(level int, p, q, r int) bool {
+	lp := e.schedule[level%len(e.schedule)]
+	b := lp.alg.Base
+	if p < b.M || q < b.K || r < b.N {
+		return false
+	}
+	if e.opts.Steps > 0 {
+		return level < e.opts.Steps
+	}
+	return p/b.M >= e.opts.MinDim && q/b.K >= e.opts.MinDim && r/b.N >= e.opts.MinDim
+}
+
+// multiply computes C = alpha·A·B recursively. leafBase locates this
+// subtree's first leaf in the global preorder numbering (HYBRID bookkeeping).
+func (e *Executor) multiply(ctx *runContext, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
+	p, q, r := A.Rows(), A.Cols(), B.Cols()
+	if !e.shouldRecurse(level, p, q, r) {
+		e.leafMultiply(ctx, C, A, B, alpha, level, leafBase)
+		return
+	}
+	lp := e.schedule[level%len(e.schedule)]
+	b := lp.alg.Base
+
+	// Dynamic peeling (§3.5): carve the largest (M·i)×(K·j)×(N·k) core and
+	// fix up the borders with classical products.
+	pc, qc, rc := p-p%b.M, q-q%b.K, r-r%b.N
+	a11 := A.View(0, 0, pc, qc)
+	b11 := B.View(0, 0, qc, rc)
+	c11 := C.View(0, 0, pc, rc)
+	e.fastStep(ctx, lp, c11, a11, b11, alpha, level, leafBase)
+
+	if qc < q { // C11 += A12·B21
+		e.countFixup()
+		ctx.fixup(level, func(w int) {
+			gemm.MulAddParallel(c11, alpha, A.View(0, qc, pc, q-qc), B.View(qc, 0, q-qc, rc), w)
+		})
+	}
+	if rc < r { // C12 = A11·B12 + A12·B22
+		e.countFixup()
+		ctx.fixup(level, func(w int) {
+			c12 := C.View(0, rc, pc, r-rc)
+			gemm.MulParallel(c12, alpha, A.View(0, 0, pc, qc), B.View(0, rc, qc, r-rc), w)
+			if qc < q {
+				gemm.MulAddParallel(c12, alpha, A.View(0, qc, pc, q-qc), B.View(qc, rc, q-qc, r-rc), w)
+			}
+		})
+	}
+	if pc < p { // [C21 C22] = A2·B (full-width bottom strip)
+		e.countFixup()
+		ctx.fixup(level, func(w int) {
+			gemm.MulParallel(C.View(pc, 0, p-pc, r), alpha, A.View(pc, 0, p-pc, q), B, w)
+		})
+	}
+}
+
+// leafMultiply is the recursion base case: a classical gemm call whose
+// parallelism depends on the scheduler (§4): DFS leaves use all workers, BFS
+// leaves run sequentially inside their task, HYBRID defers the tail leaves to
+// a second all-worker phase.
+func (e *Executor) leafMultiply(ctx *runContext, C, A, B *mat.Dense, alpha float64, level, leafIdx int) {
+	if s := e.opts.Stats; s != nil {
+		s.add(&s.LeafCalls, 1)
+	}
+	switch ctx.mode {
+	case Sequential:
+		gemm.MulScaled(C, alpha, A, B)
+	case DFS:
+		gemm.MulParallel(C, alpha, A, B, ctx.workers)
+	case BFS:
+		ctx.compute(func() { gemm.MulScaled(C, alpha, A, B) })
+	case Hybrid:
+		if ctx.isDeferredLeaf(leafIdx) {
+			if s := e.opts.Stats; s != nil {
+				s.add(&s.DeferredLeaves, 1)
+			}
+			ctx.deferLeaf(func() { gemm.MulParallel(C, alpha, A, B, ctx.workers) })
+			return
+		}
+		ctx.compute(func() { gemm.MulScaled(C, alpha, A, B) })
+		ctx.leafDone(maxInt(1, e.leavesFrom(level)))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// operand is a formed (or aliased) input to a recursive multiplication.
+type operand struct {
+	m     *mat.Dense
+	alpha float64
+}
+
+// fastStep performs one recursive step of the fast algorithm on a core whose
+// dimensions divide the base case exactly.
+func (e *Executor) fastStep(ctx *runContext, lp levelPlan, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
+	b := lp.alg.Base
+	R := lp.alg.Rank()
+	bm, bk, bn := A.Rows()/b.M, A.Cols()/b.K, B.Cols()/b.N
+
+	ablocks := blocks(A, b.M, b.K)
+	bblocks := blocks(B, b.K, b.N)
+	cblocks := blocks(C, b.M, b.N)
+
+	// The streaming strategy (§3.2 method 3) forms every S_r and T_r up
+	// front in one pass over the source blocks, at the cost of keeping all
+	// R temporaries alive — exactly the memory trade-off the paper
+	// describes. The other strategies form each operand inside task r.
+	var sOps, tOps []operand
+	if e.opts.Strategy == addchain.Streaming {
+		aw := ctx.additionWorkers()
+		sOps = e.streamFamily(lp.splan, ablocks, bm, bk, alpha, aw)
+		tOps = e.streamFamily(lp.tplan, bblocks, bk, bn, 1, aw)
+	}
+
+	ms := make([]*mat.Dense, R)
+	childSpan := maxInt(1, e.leavesFrom(level+1))
+
+	topLevel := level == 0
+	spawn := (ctx.mode == BFS || ctx.mode == Hybrid) && e.shouldSpawn(level)
+	var wg sync.WaitGroup
+	for r := 0; r < R; r++ {
+		task := func(r int) {
+			var s, t operand
+			if sOps != nil {
+				s, t = sOps[r], tOps[r]
+			} else {
+				ctx.compute(func() {
+					s = e.formOperand(ctx, lp.splan, r, ablocks, bm, bk, alpha)
+					t = e.formOperand(ctx, lp.tplan, r, bblocks, bk, bn, 1)
+				})
+			}
+			m := mat.New(bm, bn)
+			ms[r] = m
+			e.multiply(ctx, m, s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan)
+		}
+		if spawn {
+			if s := e.opts.Stats; s != nil {
+				s.add(&s.TasksSpawned, 1)
+			}
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				task(r)
+			}(r)
+		} else {
+			task(r)
+		}
+	}
+	wg.Wait()
+
+	// Combine the M_r into the C blocks. At the top level all workers are
+	// available (§4.2); deeper combines run inside their own task.
+	combineWorkers := 1
+	if ctx.mode == DFS || (topLevel && ctx.mode != Sequential) {
+		combineWorkers = ctx.workers
+	}
+	if (ctx.mode == BFS || ctx.mode == Hybrid) && !topLevel {
+		ctx.compute(func() { e.combine(lp.cplan, cblocks, ms, combineWorkers) })
+	} else {
+		e.combine(lp.cplan, cblocks, ms, combineWorkers)
+	}
+}
+
+// shouldSpawn limits task creation to recursion levels that still have
+// meaningful work; spawning below the leaf level is pointless.
+func (e *Executor) shouldSpawn(level int) bool {
+	return e.opts.Steps == 0 || level < e.opts.Steps
+}
+
+// blocks slices m into an mb×nb grid of equal views (dims must divide).
+func blocks(m *mat.Dense, mb, nb int) []*mat.Dense {
+	rb, cb := m.Rows()/mb, m.Cols()/nb
+	out := make([]*mat.Dense, 0, mb*nb)
+	for i := 0; i < mb; i++ {
+		for j := 0; j < nb; j++ {
+			out = append(out, m.View(i*rb, j*cb, rb, cb))
+		}
+	}
+	return out
+}
+
+// formOperand materializes S_r (or T_r) per the configured strategy, or
+// returns an aliased block with a scalar factor when the chain is a scaled
+// copy (§3.1). alpha is a pending scale of the source operand and multiplies
+// into the formed combination.
+func (e *Executor) formOperand(ctx *runContext, plan *addchain.Plan, r int, src []*mat.Dense, rows, cols int, alpha float64) operand {
+	ch := plan.Outputs[r]
+	if len(ch.Terms) == 0 {
+		return operand{m: mat.New(rows, cols), alpha: 0}
+	}
+	if ch.IsScaledCopy() && ch.Terms[0].Src < plan.NumSources {
+		return operand{m: src[ch.Terms[0].Src], alpha: alpha * ch.Terms[0].Coeff}
+	}
+	workers := ctx.additionWorkers()
+	nodes := e.nodes(plan, src, rows, cols, workers)
+	dst := mat.New(rows, cols)
+	coeffs := make([]float64, len(ch.Terms))
+	srcs := make([]*mat.Dense, len(ch.Terms))
+	for i, t := range ch.Terms {
+		coeffs[i] = alpha * t.Coeff
+		srcs[i] = nodes[t.Src]
+	}
+	if e.opts.Strategy == addchain.Pairwise {
+		parScale(dst, coeffs[0], srcs[0], workers)
+		for i := 1; i < len(srcs); i++ {
+			parAxpy(dst, coeffs[i], srcs[i], workers)
+		}
+	} else {
+		parCombine(dst, coeffs, srcs, workers)
+	}
+	return operand{m: dst, alpha: 1}
+}
+
+// streamFamily forms all outputs of a plan in one pass over the source
+// blocks: for each node, scatter its contribution into every destination
+// that uses it (§3.2 method 3). Scaled copies are still aliased.
+func (e *Executor) streamFamily(plan *addchain.Plan, src []*mat.Dense, rows, cols int, alpha float64, workers int) []operand {
+	nodes := e.nodes(plan, src, rows, cols, workers)
+	out := make([]operand, len(plan.Outputs))
+	touched := make([]bool, len(plan.Outputs))
+	for r, ch := range plan.Outputs {
+		switch {
+		case len(ch.Terms) == 0:
+			out[r] = operand{m: mat.New(rows, cols), alpha: 0}
+			touched[r] = true
+		case ch.IsScaledCopy() && ch.Terms[0].Src < plan.NumSources:
+			out[r] = operand{m: src[ch.Terms[0].Src], alpha: alpha * ch.Terms[0].Coeff}
+			touched[r] = true
+		default:
+			out[r] = operand{m: mat.New(rows, cols), alpha: 1}
+		}
+	}
+	for n, node := range nodes {
+		for r, ch := range plan.Outputs {
+			if out[r].alpha != 1 || (len(ch.Terms) == 1 && ch.Terms[0].Src < plan.NumSources) {
+				continue // aliased or zero output
+			}
+			for _, t := range ch.Terms {
+				if t.Src != n {
+					continue
+				}
+				if !touched[r] {
+					parScale(out[r].m, alpha*t.Coeff, node, workers)
+					touched[r] = true
+				} else {
+					parAxpy(out[r].m, alpha*t.Coeff, node, workers)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// nodes resolves plan node ids to matrices, materializing CSE temporaries on
+// demand (write-once, in dependency order).
+func (e *Executor) nodes(plan *addchain.Plan, src []*mat.Dense, rows, cols, workers int) []*mat.Dense {
+	if len(plan.Aux) == 0 {
+		return src
+	}
+	nodes := make([]*mat.Dense, plan.NumNodes())
+	copy(nodes, src)
+	for _, aux := range plan.Aux {
+		d := mat.New(rows, cols)
+		coeffs := make([]float64, len(aux.Terms))
+		srcs := make([]*mat.Dense, len(aux.Terms))
+		for i, t := range aux.Terms {
+			coeffs[i] = t.Coeff
+			srcs[i] = nodes[t.Src]
+		}
+		parCombine(d, coeffs, srcs, workers)
+		nodes[aux.Dst] = d
+	}
+	return nodes
+}
+
+// combine forms the C blocks from the M_r per the configured strategy.
+func (e *Executor) combine(plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
+	if e.opts.Strategy == addchain.Streaming {
+		e.streamCombine(plan, cblocks, ms, workers)
+		return
+	}
+	for j, ch := range plan.Outputs {
+		dst := cblocks[j]
+		if len(ch.Terms) == 0 {
+			dst.Zero()
+			continue
+		}
+		coeffs := make([]float64, len(ch.Terms))
+		srcs := make([]*mat.Dense, len(ch.Terms))
+		for i, t := range ch.Terms {
+			coeffs[i] = t.Coeff
+			srcs[i] = ms[t.Src]
+		}
+		if e.opts.Strategy == addchain.Pairwise {
+			parScale(dst, coeffs[0], srcs[0], workers)
+			for i := 1; i < len(srcs); i++ {
+				parAxpy(dst, coeffs[i], srcs[i], workers)
+			}
+		} else { // WriteOnce
+			parCombine(dst, coeffs, srcs, workers)
+		}
+	}
+}
+
+// streamCombine implements the streaming strategy for the output side: walk
+// each M_r once and scatter its contribution into every C block using it.
+func (e *Executor) streamCombine(plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
+	touched := make([]bool, len(cblocks))
+	for r, m := range ms {
+		for j, ch := range plan.Outputs {
+			for _, t := range ch.Terms {
+				if t.Src != r {
+					continue
+				}
+				if !touched[j] {
+					parScale(cblocks[j], t.Coeff, m, workers)
+					touched[j] = true
+				} else {
+					parAxpy(cblocks[j], t.Coeff, m, workers)
+				}
+			}
+		}
+	}
+	for j := range plan.Outputs {
+		if !touched[j] {
+			cblocks[j].Zero()
+		}
+	}
+}
+
+func (e *Executor) countFixup() {
+	if s := e.opts.Stats; s != nil {
+		s.add(&s.FixupCalls, 1)
+	}
+}

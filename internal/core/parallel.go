@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"fastmm/internal/mat"
+)
+
+// runContext carries one Multiply call's scheduling state. The semaphore
+// bounds the number of concurrently *computing* goroutines (tasks waiting on
+// children hold no slot, so nested task trees cannot deadlock); the deferred
+// queue and leaf counters implement HYBRID's two-phase schedule (§4.3).
+type runContext struct {
+	mode    Parallel
+	workers int
+	sem     chan struct{}
+
+	totalLeaves int // R^L for explicit Steps, else 0
+	bfsCut      int // leaves [0,bfsCut) run BFS-style; the rest are deferred
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	leavesDone int
+	deferred   []deferredLeaf
+	treeDone   bool
+}
+
+type deferredLeaf struct {
+	run  func()
+	done chan struct{}
+}
+
+func newRunContext(opts Options, totalLeaves int) *runContext {
+	ctx := &runContext{mode: opts.Parallel, workers: opts.Workers, totalLeaves: totalLeaves}
+	ctx.cond = sync.NewCond(&ctx.mu)
+	if ctx.mode == BFS || ctx.mode == Hybrid {
+		ctx.sem = make(chan struct{}, ctx.workers)
+	}
+	switch {
+	case ctx.mode != Hybrid:
+		ctx.bfsCut = math.MaxInt
+	case totalLeaves == 0:
+		// Auto-cutoff recursion has no static leaf count; Hybrid degrades
+		// to BFS (everything before the cut).
+		ctx.bfsCut = math.MaxInt
+	default:
+		ctx.bfsCut = totalLeaves - totalLeaves%ctx.workers
+	}
+	return ctx
+}
+
+// root runs the recursion body. For HYBRID it additionally pumps the deferred
+// leaves once the BFS phase has finished (the explicit synchronization the
+// paper implements with OpenMP locks).
+func (ctx *runContext) root(f func()) {
+	if ctx.mode != Hybrid {
+		f()
+		return
+	}
+	go func() {
+		f()
+		ctx.mu.Lock()
+		ctx.treeDone = true
+		ctx.cond.Broadcast()
+		ctx.mu.Unlock()
+	}()
+	ctx.mu.Lock()
+	for {
+		if len(ctx.deferred) > 0 && (ctx.leavesDone >= ctx.bfsCut || ctx.bfsCut == math.MaxInt) {
+			d := ctx.deferred[0]
+			ctx.deferred = ctx.deferred[1:]
+			ctx.mu.Unlock()
+			d.run()
+			close(d.done)
+			ctx.mu.Lock()
+			continue
+		}
+		if ctx.treeDone && len(ctx.deferred) == 0 {
+			break
+		}
+		ctx.cond.Wait()
+	}
+	ctx.mu.Unlock()
+}
+
+// compute runs f as bounded work: in BFS/HYBRID it occupies one worker slot;
+// in sequential/DFS modes it just runs (those modes have a single computing
+// goroutine at this layer).
+func (ctx *runContext) compute(f func()) {
+	if ctx.sem == nil {
+		f()
+		return
+	}
+	ctx.sem <- struct{}{}
+	f()
+	<-ctx.sem
+}
+
+// isDeferredLeaf reports whether the leaf with the given preorder index is
+// in HYBRID's deferred tail.
+func (ctx *runContext) isDeferredLeaf(leafIdx int) bool {
+	return ctx.mode == Hybrid && leafIdx >= ctx.bfsCut
+}
+
+// deferLeaf queues a leaf for the post-BFS phase and blocks the calling task
+// until it has executed, so parents observe a fully computed M_r.
+func (ctx *runContext) deferLeaf(f func()) {
+	d := deferredLeaf{run: f, done: make(chan struct{})}
+	ctx.mu.Lock()
+	ctx.deferred = append(ctx.deferred, d)
+	ctx.cond.Broadcast()
+	ctx.mu.Unlock()
+	<-d.done
+}
+
+// leafDone credits span completed BFS-phase leaves toward the phase barrier.
+func (ctx *runContext) leafDone(span int) {
+	if ctx.mode != Hybrid {
+		return
+	}
+	ctx.mu.Lock()
+	ctx.leavesDone += span
+	ctx.cond.Broadcast()
+	ctx.mu.Unlock()
+}
+
+// fixup runs a dynamic-peeling correction product. Top-level fixups may use
+// all workers (they run outside the task tree); deeper ones are ordinary
+// bounded work inside their task.
+func (ctx *runContext) fixup(level int, f func(workers int)) {
+	switch ctx.mode {
+	case Sequential:
+		f(1)
+	case DFS:
+		f(ctx.workers)
+	default:
+		if level == 0 {
+			f(ctx.workers)
+			return
+		}
+		ctx.compute(func() { f(1) })
+	}
+}
+
+// additionWorkers is the parallel width used for the S/T addition chains:
+// DFS parallelizes all additions; BFS/HYBRID additions run inside their task.
+func (ctx *runContext) additionWorkers() int {
+	if ctx.mode == DFS {
+		return ctx.workers
+	}
+	return 1
+}
+
+// parRowThreshold is the minimum row count before additions fan out.
+const parRowThreshold = 128
+
+// parCombine is mat.Combine parallelized over row slabs.
+func parCombine(dst *mat.Dense, coeffs []float64, srcs []*mat.Dense, workers int) {
+	rows := dst.Rows()
+	if workers <= 1 || rows < parRowThreshold {
+		mat.Combine(dst, coeffs, srcs)
+		return
+	}
+	eachRows(rows, workers, func(lo, n int) {
+		sub := make([]*mat.Dense, len(srcs))
+		for i, s := range srcs {
+			sub[i] = s.View(lo, 0, n, s.Cols())
+		}
+		mat.Combine(dst.View(lo, 0, n, dst.Cols()), coeffs, sub)
+	})
+}
+
+// parScale is mat.Scale parallelized over row slabs.
+func parScale(dst *mat.Dense, alpha float64, src *mat.Dense, workers int) {
+	rows := dst.Rows()
+	if workers <= 1 || rows < parRowThreshold {
+		mat.Scale(dst, alpha, src)
+		return
+	}
+	eachRows(rows, workers, func(lo, n int) {
+		mat.Scale(dst.View(lo, 0, n, dst.Cols()), alpha, src.View(lo, 0, n, src.Cols()))
+	})
+}
+
+// parAxpy is mat.Axpy parallelized over row slabs.
+func parAxpy(dst *mat.Dense, alpha float64, src *mat.Dense, workers int) {
+	rows := dst.Rows()
+	if workers <= 1 || rows < parRowThreshold {
+		mat.Axpy(dst, alpha, src)
+		return
+	}
+	eachRows(rows, workers, func(lo, n int) {
+		mat.Axpy(dst.View(lo, 0, n, dst.Cols()), alpha, src.View(lo, 0, n, src.Cols()))
+	})
+}
+
+// eachRows partitions [0,rows) into up to workers contiguous slabs and runs f
+// on each concurrently.
+func eachRows(rows, workers int, f func(lo, n int)) {
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	lo := 0
+	for i := 0; i < workers; i++ {
+		hi := (i + 1) * rows / workers
+		if hi > lo {
+			wg.Add(1)
+			go func(lo, n int) {
+				defer wg.Done()
+				f(lo, n)
+			}(lo, hi-lo)
+		}
+		lo = hi
+	}
+	wg.Wait()
+}

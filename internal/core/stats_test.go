@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmm/internal/catalog"
+	"fastmm/internal/mat"
+)
+
+// The counters turn §4's scheduling arithmetic into testable facts.
+
+func TestStatsLeafCountMatchesRankPower(t *testing.T) {
+	for _, steps := range []int{1, 2, 3} {
+		stats := &Stats{}
+		e, err := New(catalog.Strassen(), Options{Steps: steps, Stats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 8 << steps
+		A, B, C := mat.New(n, n), mat.New(n, n), mat.New(n, n)
+		if err := e.Multiply(C, A, B); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1)
+		for i := 0; i < steps; i++ {
+			want *= 7
+		}
+		if got := stats.Snapshot().LeafCalls; got != want {
+			t.Fatalf("steps=%d: %d leaves, want 7^%d=%d", steps, got, steps, want)
+		}
+	}
+}
+
+func TestStatsHybridDeferredCount(t *testing.T) {
+	// §4.3: with L levels and P workers, HYBRID defers R^L mod P leaves.
+	cases := []struct {
+		steps, workers int
+		wantDeferred   int64
+	}{
+		{1, 3, 7 % 3},   // 1
+		{1, 6, 7 % 6},   // 1
+		{2, 6, 49 % 6},  // 1
+		{2, 5, 49 % 5},  // 4
+		{1, 24, 7 % 24}, // 7 (everything deferred: bfsCut = 0)
+	}
+	for _, tc := range cases {
+		stats := &Stats{}
+		e, err := New(catalog.Strassen(), Options{
+			Steps: tc.steps, Parallel: Hybrid, Workers: tc.workers, Stats: stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 16 << tc.steps
+		A, B, C := mat.New(n, n), mat.New(n, n), mat.New(n, n)
+		if err := e.Multiply(C, A, B); err != nil {
+			t.Fatal(err)
+		}
+		if got := stats.Snapshot().DeferredLeaves; got != tc.wantDeferred {
+			t.Fatalf("steps=%d workers=%d: deferred %d, want %d",
+				tc.steps, tc.workers, got, tc.wantDeferred)
+		}
+	}
+}
+
+func TestStatsBFSSpawnsTasks(t *testing.T) {
+	stats := &Stats{}
+	e, err := New(catalog.Strassen(), Options{Steps: 2, Parallel: BFS, Workers: 4, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, B, C := mat.New(32, 32), mat.New(32, 32), mat.New(32, 32)
+	if err := e.Multiply(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+	// Level 0 spawns 7 tasks, each spawning 7 at level 1: 7 + 49.
+	if got := stats.Snapshot().TasksSpawned; got != 56 {
+		t.Fatalf("tasks spawned %d, want 56", got)
+	}
+	// Sequential spawns none.
+	stats.Reset()
+	e2, _ := New(catalog.Strassen(), Options{Steps: 2, Stats: stats})
+	if err := e2.Multiply(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Snapshot().TasksSpawned; got != 0 {
+		t.Fatalf("sequential spawned %d tasks", got)
+	}
+}
+
+func TestStatsFixupsOnOddDims(t *testing.T) {
+	stats := &Stats{}
+	e, err := New(catalog.Strassen(), Options{Steps: 1, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even dims: no fixups.
+	A, B, C := mat.New(32, 32), mat.New(32, 32), mat.New(32, 32)
+	if err := e.Multiply(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Snapshot().FixupCalls; got != 0 {
+		t.Fatalf("even dims produced %d fixups", got)
+	}
+	// All three dims odd: all three fixups fire at the top level.
+	stats.Reset()
+	rng := rand.New(rand.NewSource(1))
+	A2, B2 := mat.New(33, 33), mat.New(33, 33)
+	A2.FillRandom(rng)
+	B2.FillRandom(rng)
+	C2 := mat.New(33, 33)
+	if err := e.Multiply(C2, A2, B2); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Snapshot().FixupCalls; got != 3 {
+		t.Fatalf("odd dims produced %d fixups, want 3", got)
+	}
+}
+
+func TestStatsNilSafe(t *testing.T) {
+	var s *Stats
+	s.add(nil, 1) // must not panic
+	e, err := New(catalog.Strassen(), Options{Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, B, C := mat.New(8, 8), mat.New(8, 8), mat.New(8, 8)
+	if err := e.Multiply(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package costmodel evaluates the analytic cost recurrences of Benson &
+// Ballard for any algorithm in the framework: arithmetic flops (§2.1),
+// block reads/writes of the addition phases under each strategy (§3.2), and
+// workspace footprints (§3.2's strategy comparison and §4.2's BFS memory
+// analysis). The model is exact — it follows the same recursion, peeling
+// excluded, as the executor — and the test suite pins it against the paper's
+// closed forms (e.g. F_Strassen(N) = 7·N^log₂7 − 6·N²).
+package costmodel
+
+import (
+	"fmt"
+
+	"fastmm/internal/addchain"
+	"fastmm/internal/algo"
+)
+
+// Cost aggregates the model's predictions for one multiplication.
+type Cost struct {
+	// MulFlops counts scalar multiply-add flops spent in base-case
+	// (classical) multiplications: 2mkn − mn per call.
+	MulFlops float64
+	// AddFlops counts scalar flops spent in the S/T/C addition chains.
+	AddFlops float64
+	// Reads and Writes count scalar block-element transfers performed by
+	// the addition phases under the chosen strategy (§3.2's metric).
+	Reads, Writes float64
+	// Workspace is the peak number of temporary scalars alive at once for
+	// a depth-first traversal; WorkspaceBFS is the total temporary
+	// allocation if all R subproblems of each node are alive together
+	// (the BFS worst case of §4.2).
+	Workspace    float64
+	WorkspaceBFS float64
+	// BaseCalls is the number of leaf gemm invocations (R^steps).
+	BaseCalls float64
+}
+
+// Flops returns total arithmetic.
+func (c Cost) Flops() float64 { return c.MulFlops + c.AddFlops }
+
+// Model evaluates costs for a fixed algorithm and addition strategy.
+type Model struct {
+	alg    *algo.Algorithm
+	strat  addchain.Strategy
+	cse    bool
+	splan  *addchain.Plan
+	tplan  *addchain.Plan
+	cplan  *addchain.Plan
+	sCosts addchain.Costs
+	tCosts addchain.Costs
+	cCosts addchain.Costs
+}
+
+// New builds a cost model. CSE mirrors the executor's option (applied to the
+// S and T plans only, per §3.3).
+func New(a *algo.Algorithm, strat addchain.Strategy, cse bool) (*Model, error) {
+	if err := a.Verify(); err != nil {
+		return nil, fmt.Errorf("costmodel: %w", err)
+	}
+	m := &Model{
+		alg:   a,
+		strat: strat,
+		cse:   cse,
+		splan: addchain.FromColumns(a.U),
+		tplan: addchain.FromColumns(a.V),
+		cplan: addchain.FromRows(a.W),
+	}
+	if cse {
+		m.splan.ApplyCSE()
+		m.tplan.ApplyCSE()
+	}
+	m.sCosts = m.splan.Cost(strat)
+	m.tCosts = m.tplan.Cost(strat)
+	m.cCosts = m.cplan.Cost(strat)
+	return m, nil
+}
+
+// Evaluate computes the cost of multiplying P×Q by Q×R with the given number
+// of recursive steps. Dimensions must be divisible by the base case at every
+// level (the model ignores peeling).
+func (m *Model) Evaluate(p, q, r, steps int) (Cost, error) {
+	b := m.alg.Base
+	cp, cq, cr := p, q, r
+	for s := 0; s < steps; s++ {
+		if cp%b.M != 0 || cq%b.K != 0 || cr%b.N != 0 {
+			return Cost{}, fmt.Errorf("costmodel: %d×%d×%d not divisible by %v at step %d", p, q, r, b, s)
+		}
+		cp, cq, cr = cp/b.M, cq/b.K, cr/b.N
+	}
+	return m.eval(p, q, r, steps), nil
+}
+
+func (m *Model) eval(p, q, r, steps int) Cost {
+	if steps == 0 {
+		flops := 2*float64(p)*float64(q)*float64(r) - float64(p)*float64(r)
+		return Cost{MulFlops: flops, BaseCalls: 1}
+	}
+	b := m.alg.Base
+	R := float64(m.alg.Rank())
+	child := m.eval(p/b.M, q/b.K, r/b.N, steps-1)
+
+	// Temporaries at this level have the child block dimensions.
+	sElems := float64(p/b.M) * float64(q/b.K)
+	tElems := float64(q/b.K) * float64(r/b.N)
+	cElems := float64(p/b.M) * float64(r/b.N)
+
+	var c Cost
+	c.MulFlops = R * child.MulFlops
+	c.BaseCalls = R * child.BaseCalls
+	c.AddFlops = R*child.AddFlops +
+		float64(m.splan.Additions())*sElems +
+		float64(m.tplan.Additions())*tElems +
+		float64(m.cplan.Additions())*cElems
+	c.Reads = R*child.Reads +
+		float64(m.sCosts.Reads)*sElems + float64(m.tCosts.Reads)*tElems + float64(m.cCosts.Reads)*cElems
+	c.Writes = R*child.Writes +
+		float64(m.sCosts.Writes)*sElems + float64(m.tCosts.Writes)*tElems + float64(m.cCosts.Writes)*cElems
+
+	// Workspace: all R products M_r (each bp×br at the child level after
+	// division... the M_r of THIS level are (bp)×(br) blocks of the child
+	// size) are alive simultaneously, plus the S/T temporaries.
+	mElems := cElems // each M_r has the C-block shape
+	var stAlive float64
+	switch m.strat {
+	case addchain.Streaming:
+		// All S_r and T_r alive at once (§3.2).
+		stAlive = R*(sElems+tElems) + auxElems(m.splan)*sElems + auxElems(m.tplan)*tElems
+	default:
+		// One S_r/T_r pair at a time.
+		stAlive = sElems + tElems
+	}
+	c.Workspace = R*mElems + stAlive + child.Workspace
+	c.WorkspaceBFS = R*mElems + R*(sElems+tElems) + R*child.WorkspaceBFS
+	return c
+}
+
+func auxElems(p *addchain.Plan) float64 { return float64(len(p.Aux)) }
+
+// MulRatio returns the classical-to-fast multiplication flop ratio at the
+// given square size and depth — the realized speedup upper bound if
+// additions were free (Table 2's "multiplication speedup per recursive
+// step", compounded).
+func (m *Model) MulRatio(n, steps int) (float64, error) {
+	c, err := m.Evaluate(n, n, n, steps)
+	if err != nil {
+		return 0, err
+	}
+	classical := 2*float64(n)*float64(n)*float64(n) - float64(n)*float64(n)
+	return classical / c.MulFlops, nil
+}

@@ -1,0 +1,96 @@
+package generated
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fastmm/internal/catalog"
+	"fastmm/internal/core"
+	"fastmm/internal/gemm"
+	"fastmm/internal/mat"
+)
+
+func randMat(r, c int, rng *rand.Rand) *mat.Dense {
+	m := mat.New(r, c)
+	m.FillRandom(rng)
+	return m
+}
+
+func TestGeneratedStrassenMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range [][3]int{{64, 64, 64}, {63, 65, 67}, {128, 40, 96}, {1, 7, 3}, {100, 100, 100}} {
+		for steps := 0; steps <= 3; steps++ {
+			A, B := randMat(d[0], d[1], rng), randMat(d[1], d[2], rng)
+			want := mat.New(d[0], d[2])
+			gemm.Naive(want, A, B)
+			got := mat.New(d[0], d[2])
+			MultiplyStrassen(got, A, B, steps)
+			if diff := mat.MaxAbsDiff(got, want); diff > 1e-10*float64(d[1]+1) {
+				t.Fatalf("dims %v steps %d: diff %g", d, steps, diff)
+			}
+		}
+	}
+}
+
+func TestGeneratedWinogradMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range [][3]int{{64, 64, 64}, {77, 78, 79}} {
+		for steps := 1; steps <= 2; steps++ {
+			A, B := randMat(d[0], d[1], rng), randMat(d[1], d[2], rng)
+			want := mat.New(d[0], d[2])
+			gemm.Naive(want, A, B)
+			got := mat.New(d[0], d[2])
+			MultiplyWinograd(got, A, B, steps)
+			if diff := mat.MaxAbsDiff(got, want); diff > 1e-10*float64(d[1]+1) {
+				t.Fatalf("dims %v steps %d: diff %g", d, steps, diff)
+			}
+		}
+	}
+}
+
+// The generated code must agree with the table-driven interpreter bit-for-bit
+// on the multiplications (same operations in the same order would be exact;
+// we allow fp-level slack for differing addition orders).
+func TestGeneratedAgreesWithInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	A, B := randMat(96, 96, rng), randMat(96, 96, rng)
+	gen := mat.New(96, 96)
+	MultiplyStrassen(gen, A, B, 2)
+	e, err := core.New(catalog.Strassen(), core.Options{Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := mat.New(96, 96)
+	if err := e.Multiply(interp, A, B); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(gen, interp); d > 1e-12 {
+		t.Fatalf("generated vs interpreter: %g", d)
+	}
+}
+
+func TestGeneratedEmptyInput(t *testing.T) {
+	C := mat.New(0, 4)
+	MultiplyStrassen(C, mat.New(0, 4), mat.New(4, 4), 2) // must not panic
+}
+
+func BenchmarkGeneratedVsInterpreter(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	A, B := randMat(512, 512, rng), randMat(512, 512, rng)
+	C := mat.New(512, 512)
+	b.Run("generated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MultiplyStrassen(C, A, B, 2)
+		}
+	})
+	b.Run("interpreter", func(b *testing.B) {
+		e, _ := core.New(catalog.Strassen(), core.Options{Steps: 2})
+		for i := 0; i < b.N; i++ {
+			if err := e.Multiply(C, A, B); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = fmt.Sprint()
+}

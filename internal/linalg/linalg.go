@@ -1,0 +1,266 @@
+// Package linalg provides the small-scale dense numerical tools the
+// algorithm-search machinery needs (§2.3.2): Householder QR with
+// least-squares solving, Cholesky factorization for regularized normal
+// equations, and the Khatri-Rao / Gram / Hadamard products that appear in
+// the ALS update formulas. Problem sizes here are tiny (factor matrices of
+// fast algorithms are at most a few dozen rows), so clarity wins over
+// blocking.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fastmm/internal/mat"
+)
+
+// ErrSingular is returned when a factorization or solve meets a (numerically)
+// rank-deficient matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// QR holds a Householder QR factorization of an m×n matrix with m ≥ n.
+// Reflector k occupies rows k..m-1 of column k (head included); the diagonal
+// of R is kept separately in rdiag, and R's strict upper triangle sits above
+// the reflectors.
+type QR struct {
+	qr    *mat.Dense
+	rdiag []float64
+	m, n  int
+}
+
+// NewQR computes the QR factorization of a (copied, not overwritten).
+func NewQR(a *mat.Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR needs rows ≥ cols, got %d×%d", m, n)
+	}
+	f := &QR{qr: a.Clone(), rdiag: make([]float64, n), m: m, n: n}
+	for k := 0; k < n; k++ {
+		var nrm float64
+		for i := k; i < m; i++ {
+			v := f.qr.At(i, k)
+			nrm += v * v
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm != 0 {
+			if f.qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				f.qr.Set(i, k, f.qr.At(i, k)/nrm)
+			}
+			f.qr.Set(k, k, f.qr.At(k, k)+1)
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += f.qr.At(i, k) * f.qr.At(i, j)
+				}
+				s = -s / f.qr.At(k, k)
+				for i := k; i < m; i++ {
+					f.qr.Set(i, j, f.qr.At(i, j)+s*f.qr.At(i, k))
+				}
+			}
+		}
+		f.rdiag[k] = -nrm
+	}
+	return f, nil
+}
+
+// Solve returns the least-squares solution x minimizing ‖a·x − b‖₂ for each
+// column of b, where a is the factored matrix. b must have m rows; the
+// result has n rows.
+func (f *QR) Solve(b *mat.Dense) (*mat.Dense, error) {
+	if b.Rows() != f.m {
+		return nil, fmt.Errorf("linalg: QR solve rhs has %d rows, want %d", b.Rows(), f.m)
+	}
+	nrhs := b.Cols()
+	y := b.Clone()
+	// Apply Qᵀ to the right-hand sides.
+	for k := 0; k < f.n; k++ {
+		head := f.qr.At(k, k)
+		if head == 0 {
+			continue
+		}
+		for j := 0; j < nrhs; j++ {
+			var s float64
+			for i := k; i < f.m; i++ {
+				s += f.qr.At(i, k) * y.At(i, j)
+			}
+			s = -s / head
+			for i := k; i < f.m; i++ {
+				y.Set(i, j, y.At(i, j)+s*f.qr.At(i, k))
+			}
+		}
+	}
+	// Back substitution with R (diagonal in rdiag, upper triangle in qr).
+	x := mat.New(f.n, nrhs)
+	for j := 0; j < nrhs; j++ {
+		for i := f.n - 1; i >= 0; i-- {
+			s := y.At(i, j)
+			for p := i + 1; p < f.n; p++ {
+				s -= f.qr.At(i, p) * x.At(p, j)
+			}
+			if math.Abs(f.rdiag[i]) < 1e-13 {
+				return nil, ErrSingular
+			}
+			x.Set(i, j, s/f.rdiag[i])
+		}
+	}
+	return x, nil
+}
+
+// SolveLeastSquares computes the least-squares solution of a·x = b via QR.
+func SolveLeastSquares(a, b *mat.Dense) (*mat.Dense, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Cholesky computes the lower-triangular L with L·Lᵀ = a for symmetric
+// positive-definite a.
+func Cholesky(a *mat.Dense) (*mat.Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("linalg: Cholesky needs square input, got %d×%d", n, a.Cols())
+	}
+	l := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves a·x = b for symmetric positive-definite a via Cholesky.
+// b may have multiple columns.
+func SolveSPD(a, b *mat.Dense) (*mat.Dense, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n, nrhs := a.Rows(), b.Cols()
+	if b.Rows() != n {
+		return nil, fmt.Errorf("linalg: SolveSPD rhs has %d rows, want %d", b.Rows(), n)
+	}
+	x := mat.New(n, nrhs)
+	// Forward substitution L·y = b.
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			s := b.At(i, j)
+			for k := 0; k < i; k++ {
+				s -= l.At(i, k) * x.At(k, j)
+			}
+			x.Set(i, j, s/l.At(i, i))
+		}
+	}
+	// Back substitution Lᵀ·x = y (in place).
+	for j := 0; j < nrhs; j++ {
+		for i := n - 1; i >= 0; i-- {
+			s := x.At(i, j)
+			for k := i + 1; k < n; k++ {
+				s -= l.At(k, i) * x.At(k, j)
+			}
+			x.Set(i, j, s/l.At(i, i))
+		}
+	}
+	return x, nil
+}
+
+// KhatriRao returns the column-wise Kronecker product A⊙B: for A I×R and
+// B J×R the result is (I·J)×R with row i*J+j holding A[i,:]∘B[j,:].
+func KhatriRao(a, b *mat.Dense) *mat.Dense {
+	if a.Cols() != b.Cols() {
+		panic(fmt.Sprintf("linalg: KhatriRao ranks %d vs %d", a.Cols(), b.Cols()))
+	}
+	r := a.Cols()
+	out := mat.New(a.Rows()*b.Rows(), r)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Rows(); j++ {
+			row := out.Row(i*b.Rows() + j)
+			ra, rb := a.Row(i), b.Row(j)
+			for c := 0; c < r; c++ {
+				row[c] = ra[c] * rb[c]
+			}
+		}
+	}
+	return out
+}
+
+// Gram returns AᵀA.
+func Gram(a *mat.Dense) *mat.Dense {
+	n := a.Cols()
+	g := mat.New(n, n)
+	for i := 0; i < a.Rows(); i++ {
+		row := a.Row(i)
+		for p := 0; p < n; p++ {
+			if row[p] == 0 {
+				continue
+			}
+			gp := g.Row(p)
+			for q := 0; q < n; q++ {
+				gp[q] += row[p] * row[q]
+			}
+		}
+	}
+	return g
+}
+
+// Hadamard returns the elementwise product of a and b.
+func Hadamard(a, b *mat.Dense) *mat.Dense {
+	out := mat.New(a.Rows(), a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		ra, rb, ro := a.Row(i), b.Row(i), out.Row(i)
+		for j := range ro {
+			ro[j] = ra[j] * rb[j]
+		}
+	}
+	return out
+}
+
+// MatMul returns a·b for small dense matrices (convenience for search code).
+func MatMul(a, b *mat.Dense) *mat.Dense {
+	if a.Cols() != b.Rows() {
+		panic(fmt.Sprintf("linalg: MatMul dims %d×%d · %d×%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+	out := mat.New(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		ra, ro := a.Row(i), out.Row(i)
+		for k, av := range ra {
+			if av == 0 {
+				continue
+			}
+			rb := b.Row(k)
+			for j := range ro {
+				ro[j] += av * rb[j]
+			}
+		}
+	}
+	return out
+}
+
+// AddDiag adds mu to each diagonal element of a in place and returns a.
+func AddDiag(a *mat.Dense, mu float64) *mat.Dense {
+	n := a.Rows()
+	if a.Cols() < n {
+		n = a.Cols()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+mu)
+	}
+	return a
+}

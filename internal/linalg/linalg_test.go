@@ -1,0 +1,182 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmm/internal/mat"
+)
+
+func randMat(r, c int, rng *rand.Rand) *mat.Dense {
+	m := mat.New(r, c)
+	m.FillRandom(rng)
+	return m
+}
+
+func TestQRSolveSquare(t *testing.T) {
+	a := mat.FromRows([][]float64{{4, 1}, {1, 3}})
+	b := mat.FromRows([][]float64{{1}, {2}})
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution of [[4,1],[1,3]]x=[1,2]: x = (1/11)[1, 7].
+	if math.Abs(x.At(0, 0)-1.0/11) > 1e-12 || math.Abs(x.At(1, 0)-7.0/11) > 1e-12 {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+func TestQRSolveRecoversPlantedSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dims := range [][3]int{{5, 5, 1}, {8, 3, 2}, {20, 7, 4}, {36, 23, 9}} {
+		m, n, nrhs := dims[0], dims[1], dims[2]
+		a := randMat(m, n, rng)
+		want := randMat(n, nrhs, rng)
+		b := MatMul(a, want)
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if d := mat.MaxAbsDiff(x, want); d > 1e-9 {
+			t.Fatalf("%v: recovered solution off by %g", dims, d)
+		}
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// For overdetermined systems the residual must be orthogonal to the
+	// column space: Aᵀ(Ax−b) = 0.
+	rng := rand.New(rand.NewSource(11))
+	a := randMat(12, 4, rng)
+	b := randMat(12, 1, rng)
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MatMul(a, x)
+	mat.Axpy(res, -1, b)
+	at := mat.New(4, 12)
+	mat.Transpose(at, a)
+	g := MatMul(at, res)
+	if g.MaxAbs() > 1e-10 {
+		t.Fatalf("Aᵀr = %v", g)
+	}
+}
+
+func TestQRRejectsUnderdetermined(t *testing.T) {
+	if _, err := NewQR(mat.New(2, 3)); err == nil {
+		t.Fatal("expected error for m < n")
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	_, err := SolveLeastSquares(a, mat.New(3, 1))
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := mat.FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.FromRows([][]float64{{2, 0}, {1, math.Sqrt(2)}})
+	if d := mat.MaxAbsDiff(l, want); d > 1e-12 {
+		t.Fatalf("L=%v", l)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// Build an SPD matrix G = AᵀA + I.
+	a := randMat(10, 6, rng)
+	at := mat.New(6, 10)
+	mat.Transpose(at, a)
+	g := MatMul(at, a)
+	AddDiag(g, 1)
+	want := randMat(6, 3, rng)
+	b := MatMul(g, want)
+	x, err := SolveSPD(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(x, want); d > 1e-9 {
+		t.Fatalf("SPD solve off by %g", d)
+	}
+}
+
+func TestKhatriRao(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := mat.FromRows([][]float64{{5, 6}, {7, 8}, {9, 10}})
+	kr := KhatriRao(a, b)
+	if kr.Rows() != 6 || kr.Cols() != 2 {
+		t.Fatalf("dims %d×%d", kr.Rows(), kr.Cols())
+	}
+	// Row (i=1, j=2) = a[1,:] ∘ b[2,:] = (3·9, 4·10).
+	if kr.At(5, 0) != 27 || kr.At(5, 1) != 40 {
+		t.Fatalf("row 5 = %v %v", kr.At(5, 0), kr.At(5, 1))
+	}
+}
+
+func TestGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMat(9, 4, rng)
+	at := mat.New(4, 9)
+	mat.Transpose(at, a)
+	want := MatMul(at, a)
+	if d := mat.MaxAbsDiff(Gram(a), want); d > 1e-12 {
+		t.Fatalf("gram off by %g", d)
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := mat.FromRows([][]float64{{5, -1}, {0, 2}})
+	h := Hadamard(a, b)
+	want := mat.FromRows([][]float64{{5, -2}, {0, 8}})
+	if !mat.EqualApprox(h, want, 0) {
+		t.Fatalf("h=%v", h)
+	}
+}
+
+// Property: Khatri-Rao Gram identity (AᵀA)∗(BᵀB) = (A⊙B)ᵀ(A⊙B), the
+// identity the ALS normal equations rely on.
+func TestKhatriRaoGramIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(i8, j8, r8 uint8) bool {
+		i, j, r := int(i8%5)+1, int(j8%5)+1, int(r8%5)+1
+		a, b := randMat(i, r, rng), randMat(j, r, rng)
+		left := Hadamard(Gram(a), Gram(b))
+		right := Gram(KhatriRao(a, b))
+		return mat.MaxAbsDiff(left, right) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	a := mat.New(3, 3)
+	AddDiag(a, 2.5)
+	for i := 0; i < 3; i++ {
+		if a.At(i, i) != 2.5 {
+			t.Fatalf("diag %d = %v", i, a.At(i, i))
+		}
+	}
+	if a.At(0, 1) != 0 {
+		t.Fatal("off-diagonal touched")
+	}
+}

@@ -1,0 +1,489 @@
+// Package search implements the numerical search for fast matrix
+// multiplication algorithms described in Benson & Ballard §2.3.2: alternating
+// least squares (ALS) over the factor matrices of a candidate rank-R
+// decomposition of the ⟨M,K,N⟩ tensor, with Tikhonov regularization against
+// ill-conditioned updates, multiple random starts against local minima, and a
+// rounding/exactification pass that recovers discrete (integer or
+// half-integer) factorizations from numerical ones — the step the paper
+// credits to Johnson & McLoughlin and Smirnov.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastmm/internal/algo"
+	"fastmm/internal/linalg"
+	"fastmm/internal/mat"
+	"fastmm/internal/tensor"
+)
+
+// ErrNoConvergence is returned when ALS fails to reach the target residual.
+var ErrNoConvergence = errors.New("search: ALS did not converge")
+
+// ErrNotDiscrete is returned when a converged numerical solution cannot be
+// rounded to an exact discrete factorization.
+var ErrNotDiscrete = errors.New("search: converged solution does not round to an exact algorithm")
+
+// Options controls the ALS search.
+type Options struct {
+	Rank     int     // target decomposition rank R
+	MaxIter  int     // ALS sweeps per start (default 500)
+	Reg      float64 // Tikhonov regularization μ (default 1e-3, decayed)
+	Tol      float64 // residual (max-abs) declaring numerical convergence (default 1e-7)
+	Starts   int     // random restarts (default 8)
+	Seed     int64   // RNG seed
+	InitU    *mat.Dense
+	InitV    *mat.Dense // optional warm start (overrides random init for start 0)
+	InitW    *mat.Dense
+	RoundTol float64 // max distance to the discrete grid when rounding (default 0.05)
+}
+
+func (o *Options) defaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 500
+	}
+	if o.Reg == 0 {
+		o.Reg = 1e-3
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.Starts == 0 {
+		o.Starts = 8
+	}
+	if o.RoundTol == 0 {
+		o.RoundTol = 0.05
+	}
+}
+
+// Result is a (possibly inexact) factorization found by ALS.
+type Result struct {
+	U, V, W  *mat.Dense
+	Residual float64 // max-abs reconstruction error
+	Iters    int
+	Start    int // which random start succeeded
+}
+
+// grid is the set of discrete values exact fast algorithms typically use.
+var grid = []float64{0, 1, -1, 0.5, -0.5, 2, -2, 0.25, -0.25, 4, -4}
+
+// ALS searches for a rank-R decomposition of t. It returns the best result
+// across starts; err is ErrNoConvergence if none reached opts.Tol.
+func ALS(t *tensor.Tensor, opts Options) (*Result, error) {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t1, t2, t3 := t.Unfold(1), t.Unfold(2), t.Unfold(3)
+
+	var best *Result
+	for s := 0; s < opts.Starts; s++ {
+		var u, v, w *mat.Dense
+		if s == 0 && opts.InitU != nil && opts.InitV != nil && opts.InitW != nil {
+			u, v, w = opts.InitU.Clone(), opts.InitV.Clone(), opts.InitW.Clone()
+		} else {
+			u, v, w = randInit(t.I, opts.Rank, rng), randInit(t.J, opts.Rank, rng), randInit(t.K, opts.Rank, rng)
+		}
+		res, iters := alsSweep(t, t1, t2, t3, u, v, w, opts)
+		r := &Result{U: u, V: v, W: w, Residual: res, Iters: iters, Start: s}
+		if best == nil || r.Residual < best.Residual {
+			best = r
+		}
+		if best.Residual <= opts.Tol {
+			return best, nil
+		}
+	}
+	return best, ErrNoConvergence
+}
+
+func randInit(rows, rank int, rng *rand.Rand) *mat.Dense {
+	m := mat.New(rows, rank)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			// Discrete-leaning random init: mostly 0/±1 with jitter.
+			switch rng.Intn(4) {
+			case 0:
+				row[j] = 1
+			case 1:
+				row[j] = -1
+			default:
+				row[j] = 0
+			}
+			row[j] += 0.3 * (2*rng.Float64() - 1)
+		}
+	}
+	return m
+}
+
+func alsSweep(t *tensor.Tensor, t1, t2, t3 *mat.Dense, u, v, w *mat.Dense, opts Options) (float64, int) {
+	reg := opts.Reg
+	res := math.Inf(1)
+	for it := 0; it < opts.MaxIter; it++ {
+		updateFactor(t1, u, v, w, reg) // U from T(1), KR(V,W)
+		updateFactor(t2, v, u, w, reg) // V from T(2), KR(U,W)
+		updateFactor(t3, w, u, v, reg) // W from T(3), KR(U,V)
+
+		res = residual(t, u, v, w)
+		if res <= opts.Tol {
+			return res, it + 1
+		}
+		// Decay the regularizer as we approach a solution, per the
+		// "adjusting the regularization penalty throughout the iteration"
+		// advice of §2.3.2.
+		if res < 0.1 && reg > 1e-12 {
+			reg *= 0.7
+		}
+	}
+	return res, opts.MaxIter
+}
+
+// updateFactor solves min ‖unf − X·KR(a,b)ᵀ‖² + μ‖X‖² for X and stores it in
+// dst. unf is the matching unfolding of the target tensor.
+func updateFactor(unf *mat.Dense, dst, a, b *mat.Dense, mu float64) {
+	kr := linalg.KhatriRao(a, b)
+	g := linalg.Hadamard(linalg.Gram(a), linalg.Gram(b))
+	linalg.AddDiag(g, mu)
+	rhs := linalg.MatMul(unf, kr) // rows × R
+	// Solve X·G = rhs  ⇔  G·Xᵀ = rhsᵀ (G symmetric).
+	rhsT := mat.New(rhs.Cols(), rhs.Rows())
+	mat.Transpose(rhsT, rhs)
+	xt, err := linalg.SolveSPD(g, rhsT)
+	if err != nil {
+		// Singular normal equations: bump the regularizer and retry once.
+		linalg.AddDiag(g, 1e-6)
+		if xt, err = linalg.SolveSPD(g, rhsT); err != nil {
+			return // keep previous iterate
+		}
+	}
+	mat.Transpose(dst, xt)
+}
+
+func residual(t *tensor.Tensor, u, v, w *mat.Dense) float64 {
+	return tensor.MaxAbsDiff(tensor.FromFactors(u, v, w), t)
+}
+
+// Refine runs grid-attracted ALS from the given factors: each factor update
+// adds a penalty pulling entries toward their nearest discrete grid value,
+// with the attraction weight growing geometrically. This is the
+// sparsification/discretization device of §2.3.2 (after Smirnov and
+// Johnson-McLoughlin): once the iterates lock onto the grid, Exactify
+// certifies the result. Returns the exact algorithm or ErrNotDiscrete with
+// the best factors left in u, v, w.
+func Refine(bc algo.BaseCase, u, v, w *mat.Dense, name string, opts Options) (*algo.Algorithm, error) {
+	opts.defaults()
+	t := tensor.MatMul(bc.M, bc.K, bc.N)
+	t1, t2, t3 := t.Unfold(1), t.Unfold(2), t.Unfold(3)
+	attract := 1e-3
+	for phase := 0; phase < 60; phase++ {
+		for it := 0; it < 10; it++ {
+			NormalizeColumns(u, v, w)
+			tu, _ := RoundToGrid(u, 1)
+			updateFactorAttracted(t1, u, v, w, opts.Reg, attract, tu)
+			tv, _ := RoundToGrid(v, 1)
+			updateFactorAttracted(t2, v, u, w, opts.Reg, attract, tv)
+			tw, _ := RoundToGrid(w, 1)
+			updateFactorAttracted(t3, w, u, v, opts.Reg, attract, tw)
+		}
+		if a, err := Exactify(bc, u, v, w, name, 0.12); err == nil {
+			return a, nil
+		}
+		res := residual(t, u, v, w)
+		if res > 0.5 {
+			return nil, fmt.Errorf("%w: attraction diverged (residual %.3g)", ErrNotDiscrete, res)
+		}
+		attract *= 1.4
+	}
+	return nil, ErrNotDiscrete
+}
+
+// updateFactorAttracted is updateFactor with an extra quadratic penalty
+// ‖X − target‖² of weight att, pulling the factor toward a discrete target.
+func updateFactorAttracted(unf *mat.Dense, dst, a, b *mat.Dense, mu, att float64, target *mat.Dense) {
+	kr := linalg.KhatriRao(a, b)
+	g := linalg.Hadamard(linalg.Gram(a), linalg.Gram(b))
+	linalg.AddDiag(g, mu+att)
+	rhs := linalg.MatMul(unf, kr) // rows × R
+	// rhs += att * target
+	mat.Axpy(rhs, att, target)
+	rhsT := mat.New(rhs.Cols(), rhs.Rows())
+	mat.Transpose(rhsT, rhs)
+	xt, err := linalg.SolveSPD(g, rhsT)
+	if err != nil {
+		return
+	}
+	mat.Transpose(dst, xt)
+}
+
+// Snap runs the progressive-freezing discretization used by Smirnov and by
+// Johnson-McLoughlin (§2.3.2's "encourage sparsity in order to recover exact
+// factorizations"): entries within a snapping tolerance of the discrete grid
+// are frozen at their grid value, and the remaining free entries of each
+// factor row are re-solved by constrained least squares. The tolerance grows
+// until every entry is frozen; success is certified by exact verification.
+func Snap(bc algo.BaseCase, u, v, w *mat.Dense, name string) (*algo.Algorithm, error) {
+	t := tensor.MatMul(bc.M, bc.K, bc.N)
+	t1, t2, t3 := t.Unfold(1), t.Unfold(2), t.Unfold(3)
+	u, v, w = u.Clone(), v.Clone(), w.Clone()
+	snapTol := 0.02
+	for iter := 0; iter < 200 && snapTol < 0.45; iter++ {
+		NormalizeColumns(u, v, w)
+		cu := snapRows(t1, u, linalg.KhatriRao(v, w), snapTol)
+		cv := snapRows(t2, v, linalg.KhatriRao(u, w), snapTol)
+		cw := snapRows(t3, w, linalg.KhatriRao(u, v), snapTol)
+		res := residual(t, u, v, w)
+		if res > 1.0 {
+			return nil, fmt.Errorf("%w: snap diverged (residual %.3g)", ErrNotDiscrete, res)
+		}
+		if cu+cv+cw == 0 { // everything frozen
+			a := &algo.Algorithm{Name: name, Base: bc, U: u, V: v, W: w}
+			if err := a.Verify(); err == nil {
+				return a, nil
+			}
+			// Fully frozen but wrong: back off is hopeless; fail.
+			return nil, fmt.Errorf("%w: frozen factorization residual %.3g", ErrNotDiscrete, res)
+		}
+		if res < 1e-9 {
+			// Numerically exact with some free entries: try rounding them.
+			if a, err := Exactify(bc, u, v, w, name, 0.2); err == nil {
+				return a, nil
+			}
+		}
+		snapTol *= 1.1
+	}
+	return nil, ErrNotDiscrete
+}
+
+// snapRows freezes near-grid entries of factor x (rows solve independently
+// against the Khatri-Rao design matrix kr and unfolding unf) and re-solves
+// the free entries. Returns the number of entries still free.
+func snapRows(unf, x, kr *mat.Dense, snapTol float64) (free int) {
+	r := x.Cols()
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		var freeIdx []int
+		for j, val := range row {
+			if g, d := nearestGrid(val); d <= snapTol {
+				row[j] = g
+			} else {
+				freeIdx = append(freeIdx, j)
+			}
+		}
+		if len(freeIdx) == 0 {
+			continue
+		}
+		free += len(freeIdx)
+		// rhs = unf[i,:] − Σ_{frozen} row[j]·kr[:,j]
+		rhs := mat.New(kr.Rows(), 1)
+		for q := 0; q < kr.Rows(); q++ {
+			s := unf.At(i, q)
+			for j, val := range row {
+				if val != 0 && !contains(freeIdx, j) {
+					s -= val * kr.At(q, j)
+				}
+			}
+			rhs.Set(q, 0, s)
+		}
+		sub := mat.New(kr.Rows(), len(freeIdx))
+		for q := 0; q < kr.Rows(); q++ {
+			for c, j := range freeIdx {
+				sub.Set(q, c, kr.At(q, j))
+			}
+		}
+		sol, err := linalg.SolveLeastSquares(sub, rhs)
+		if err != nil {
+			// Rank-deficient subproblem: ridge-regularize.
+			g := linalg.Gram(sub)
+			linalg.AddDiag(g, 1e-10)
+			subT := mat.New(sub.Cols(), sub.Rows())
+			mat.Transpose(subT, sub)
+			rhs2 := linalg.MatMul(subT, rhs)
+			if sol, err = linalg.SolveSPD(g, rhs2); err != nil {
+				continue
+			}
+		}
+		for c, j := range freeIdx {
+			row[j] = sol.At(c, 0)
+		}
+	}
+	_ = r
+	return free
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// SolveFactor computes the exact least-squares optimum of one factor with the
+// other two fixed (no regularization), returning the factor and the resulting
+// max-abs residual. mode is 1, 2 or 3 for U, V, W. This is the "repair" tool:
+// with two factors known to be correct, the third is the solution of a linear
+// system (§2.3.2), and a zero residual certifies an exact algorithm.
+func SolveFactor(t *tensor.Tensor, mode int, a, b *mat.Dense) (*mat.Dense, float64, error) {
+	if mode < 1 || mode > 3 {
+		return nil, 0, fmt.Errorf("search: bad mode %d", mode)
+	}
+	unf := t.Unfold(mode)
+	kr := linalg.KhatriRao(a, b)
+	unfT := mat.New(unf.Cols(), unf.Rows())
+	mat.Transpose(unfT, unf)
+	xt, err := linalg.SolveLeastSquares(kr, unfT) // KR·Xᵀ = unfᵀ
+	if err != nil {
+		return nil, 0, err
+	}
+	x := mat.New(xt.Cols(), xt.Rows())
+	mat.Transpose(x, xt)
+	var u, v, w *mat.Dense
+	switch mode {
+	case 1:
+		u, v, w = x, a, b
+	case 2:
+		u, v, w = a, x, b
+	case 3:
+		u, v, w = a, b, x
+	default:
+		return nil, 0, fmt.Errorf("search: bad mode %d", mode)
+	}
+	return x, residual(t, u, v, w), nil
+}
+
+// RoundToGrid snaps every entry of m to the nearest discrete grid value if it
+// is within tol; entries farther than tol are left unchanged and reported.
+func RoundToGrid(m *mat.Dense, tol float64) (snapped *mat.Dense, offGrid int) {
+	out := m.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for j, x := range row {
+			g, d := nearestGrid(x)
+			if d <= tol {
+				row[j] = g
+			} else {
+				offGrid++
+			}
+		}
+	}
+	return out, offGrid
+}
+
+func nearestGrid(x float64) (g, dist float64) {
+	g, dist = grid[0], math.Abs(x-grid[0])
+	for _, v := range grid[1:] {
+		if d := math.Abs(x - v); d < dist {
+			g, dist = v, d
+		}
+	}
+	return g, dist
+}
+
+// NormalizeColumns applies the diagonal equivalence freedom of Proposition
+// 2.3 in place: each column of u and v is scaled so its largest-magnitude
+// entry is +1, with the inverse scale folded into the corresponding column of
+// w. Numerical ALS solutions are only defined up to this scaling, so
+// normalizing is what makes rounding to a discrete grid possible.
+func NormalizeColumns(u, v, w *mat.Dense) {
+	r := u.Cols()
+	for c := 0; c < r; c++ {
+		su := dominantEntry(u, c)
+		sv := dominantEntry(v, c)
+		if su == 0 || sv == 0 {
+			continue
+		}
+		scaleCol(u, c, 1/su)
+		scaleCol(v, c, 1/sv)
+		scaleCol(w, c, su*sv)
+	}
+}
+
+func dominantEntry(m *mat.Dense, c int) float64 {
+	var best float64
+	for i := 0; i < m.Rows(); i++ {
+		if v := m.At(i, c); math.Abs(v) > math.Abs(best) {
+			best = v
+		}
+	}
+	return best
+}
+
+func scaleCol(m *mat.Dense, c int, s float64) {
+	for i := 0; i < m.Rows(); i++ {
+		m.Set(i, c, m.At(i, c)*s)
+	}
+}
+
+// Exactify turns a numerically converged factorization into an exact discrete
+// algorithm for base case bc. It normalizes the column scaling, then works in
+// stages so each rounding step is backed by an exact linear re-solve:
+// round U → solve V exactly from (U,W) → round V → solve W exactly from
+// (U,V) → round W → verify. On success the returned algorithm passes
+// algo.Verify.
+func Exactify(bc algo.BaseCase, u, v, w *mat.Dense, name string, roundTol float64) (*algo.Algorithm, error) {
+	t := tensor.MatMul(bc.M, bc.K, bc.N)
+	u, v, w = u.Clone(), v.Clone(), w.Clone()
+	NormalizeColumns(u, v, w)
+
+	ur, offU := RoundToGrid(u, roundTol)
+	if offU > 0 {
+		return nil, fmt.Errorf("%w: %d U entries off-grid", ErrNotDiscrete, offU)
+	}
+	// With U discrete, refit V to compensate for rounding error, then round.
+	vFit, _, err := SolveFactor(t, 2, ur, w)
+	if err != nil {
+		vFit = v
+	}
+	vr, offV := RoundToGrid(vFit, roundTol)
+	if offV > 0 {
+		// The refit may have drifted; try rounding the normalized V
+		// directly before giving up.
+		if vr, offV = RoundToGrid(v, roundTol); offV > 0 {
+			return nil, fmt.Errorf("%w: %d V entries off-grid", ErrNotDiscrete, offV)
+		}
+	}
+	wExact, res, err := SolveFactor(t, 3, ur, vr)
+	if err != nil {
+		return nil, fmt.Errorf("search: exactify W solve: %w", err)
+	}
+	if res > 1e-6 {
+		return nil, fmt.Errorf("%w: residual %.3g after W re-solve", ErrNotDiscrete, res)
+	}
+	wr, offW := RoundToGrid(wExact, math.Max(roundTol, 1e-6))
+	if offW > 0 {
+		return nil, fmt.Errorf("%w: %d W entries off-grid", ErrNotDiscrete, offW)
+	}
+	a := &algo.Algorithm{Name: name, Base: bc, U: ur, V: vr, W: wr}
+	if err := a.Verify(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotDiscrete, err)
+	}
+	return a, nil
+}
+
+// Discover runs the full pipeline of §2.3.2 for base case bc at the given
+// rank: ALS (multi-start or warm-started), then rounding/exactification. It
+// returns a verified exact algorithm or an error describing how far it got.
+func Discover(bc algo.BaseCase, name string, opts Options) (*algo.Algorithm, error) {
+	t := tensor.MatMul(bc.M, bc.K, bc.N)
+	res, err := ALS(t, opts)
+	if err != nil && res == nil {
+		return nil, err
+	}
+	a, exErr := Exactify(bc, res.U, res.V, res.W, name, opts.roundTolOrDefault())
+	if exErr == nil {
+		return a, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w (best residual %.3g after start %d)", err, res.Residual, res.Start)
+	}
+	return nil, exErr
+}
+
+func (o Options) roundTolOrDefault() float64 {
+	if o.RoundTol == 0 {
+		return 0.05
+	}
+	return o.RoundTol
+}

@@ -1,0 +1,226 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"fastmm/internal/algo"
+	"fastmm/internal/linalg"
+	"fastmm/internal/mat"
+	"fastmm/internal/tensor"
+)
+
+// sieveGrid is the value set discrete solutions are drawn toward. Published
+// fast algorithms almost exclusively use 0, ±1, ±1/2 (and occasionally ±2).
+var sieveGrid = []float64{0, 1, -1, 0.5, -0.5, 2, -2}
+
+// Sieve extracts a discrete factorization from a numerically converged ALS
+// solution by progressive freezing with backtracking: repeatedly freeze the
+// free entry closest to the discrete grid, then re-optimize the remaining
+// free entries with constrained ALS sweeps; when the residual cannot
+// recover, undo the freeze and blacklist that choice. This is the
+// sparsification procedure of §2.3.2 (after Johnson-McLoughlin and Smirnov):
+// plain ALS lands on a generic point of the solution manifold, and the
+// freezing walks it along its gauge freedoms onto a discrete representative.
+func Sieve(bc algo.BaseCase, u0, v0, w0 *mat.Dense, name string) (*algo.Algorithm, error) {
+	t := tensor.MatMul(bc.M, bc.K, bc.N)
+	t1, t2, t3 := t.Unfold(1), t.Unfold(2), t.Unfold(3)
+	u, v, w := u0.Clone(), v0.Clone(), w0.Clone()
+	NormalizeColumns(u, v, w)
+
+	factors := []*mat.Dense{u, v, w}
+	unfs := []*mat.Dense{t1, t2, t3}
+	masks := make([][][]bool, 3)
+	for f, m := range factors {
+		masks[f] = make([][]bool, m.Rows())
+		for i := range masks[f] {
+			masks[f][i] = make([]bool, m.Cols())
+		}
+	}
+
+	type freeze struct {
+		f, i, j int
+		val     float64
+		// snapshot of all three factors taken before the freeze, so a
+		// backtrack restores the exact pre-freeze state instead of letting
+		// failed relaxations accumulate drift.
+		snap [3]*mat.Dense
+	}
+	var stack []freeze
+	blacklist := map[[4]int64]bool{}
+	key := func(f, i, j int, val float64) [4]int64 {
+		return [4]int64{int64(f), int64(i), int64(j), int64(math.Round(val * 1024))}
+	}
+
+	const resTol = 1e-4
+	// relax re-optimizes the free entries until the residual recovers (or a
+	// sweep budget runs out), so infeasibility is blamed on the most recent
+	// freeze rather than accumulating silently.
+	relax := func() float64 {
+		r := residual(t, factors[0], factors[1], factors[2])
+		for s := 0; s < 60; s++ {
+			constrainedSweep(unfs, factors, masks)
+			if s%4 == 3 {
+				if r = residual(t, factors[0], factors[1], factors[2]); r < resTol/10 {
+					return r
+				}
+			}
+		}
+		return residual(t, factors[0], factors[1], factors[2])
+	}
+
+	backtracks := 0
+	for step := 0; step < 20000; step++ {
+		res := relax()
+		if res > resTol {
+			// Last freeze broke feasibility: undo and blacklist.
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("%w: infeasible before any freeze (residual %.3g)", ErrNotDiscrete, res)
+			}
+			last := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			masks[last.f][last.i][last.j] = false
+			for f := range factors {
+				factors[f].CopyFrom(last.snap[f])
+			}
+			blacklist[key(last.f, last.i, last.j, last.val)] = true
+			backtracks++
+			if backtracks > 2500 {
+				return nil, fmt.Errorf("%w: backtrack budget exhausted", ErrNotDiscrete)
+			}
+			continue
+		}
+		// Find the free entry closest to a non-blacklisted grid value.
+		bf, bi, bj, bval, bdist := -1, 0, 0, 0.0, math.Inf(1)
+		for f, m := range factors {
+			for i := 0; i < m.Rows(); i++ {
+				for j := 0; j < m.Cols(); j++ {
+					if masks[f][i][j] {
+						continue
+					}
+					x := m.At(i, j)
+					for _, g := range sieveGrid {
+						if blacklist[key(f, i, j, g)] {
+							continue
+						}
+						if d := math.Abs(x - g); d < bdist {
+							bf, bi, bj, bval, bdist = f, i, j, g, d
+						}
+					}
+				}
+			}
+		}
+		if bf < 0 { // everything frozen (or blacklisted)
+			break
+		}
+		fr := freeze{f: bf, i: bi, j: bj, val: bval}
+		for f := range factors {
+			fr.snap[f] = factors[f].Clone()
+		}
+		stack = append(stack, fr)
+		factors[bf].Set(bi, bj, bval)
+		masks[bf][bi][bj] = true
+	}
+
+	// Entries whose every grid value is blacklisted stay free: polish them
+	// with extra sweeps. They end up at exact rational values determined by
+	// the frozen pattern (the least-squares solution), which still verifies
+	// to machine precision.
+	for s := 0; s < 200; s++ {
+		constrainedSweep(unfs, factors, masks)
+		if s%10 == 9 && residual(t, factors[0], factors[1], factors[2]) < 1e-11 {
+			break
+		}
+	}
+
+	a := &algo.Algorithm{Name: name, Base: bc, U: u, V: v, W: w}
+	if err := a.Verify(); err != nil {
+		return nil, fmt.Errorf("%w: after sieve: %v", ErrNotDiscrete, err)
+	}
+	return a, nil
+}
+
+// constrainedSweep performs one ALS sweep where frozen entries (mask true)
+// are held fixed and only free entries are re-solved, row by row.
+func constrainedSweep(unfs, factors []*mat.Dense, masks [][][]bool) {
+	for f := 0; f < 3; f++ {
+		a, b := otherFactors(factors, f)
+		kr := linalg.KhatriRao(a, b)
+		solveRowsConstrained(unfs[f], factors[f], kr, masks[f])
+	}
+}
+
+// otherFactors returns the Khatri-Rao operands matching unfolding f:
+// mode 1 pairs (V,W), mode 2 (U,W), mode 3 (U,V).
+func otherFactors(factors []*mat.Dense, f int) (*mat.Dense, *mat.Dense) {
+	switch f {
+	case 0:
+		return factors[1], factors[2]
+	case 1:
+		return factors[0], factors[2]
+	default:
+		return factors[0], factors[1]
+	}
+}
+
+// solveRowsConstrained re-solves the free entries of each row of x against
+// the design matrix kr, holding masked entries fixed.
+func solveRowsConstrained(unf, x, kr *mat.Dense, mask [][]bool) {
+	rank := x.Cols()
+	rows := kr.Rows()
+	for i := 0; i < x.Rows(); i++ {
+		xrow := x.Row(i)
+		var free []int
+		for j := 0; j < rank; j++ {
+			if !mask[i][j] {
+				free = append(free, j)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		rhs := mat.New(rows, 1)
+		for q := 0; q < rows; q++ {
+			s := unf.At(i, q)
+			krow := kr.Row(q)
+			for j := 0; j < rank; j++ {
+				if mask[i][j] && xrow[j] != 0 {
+					s -= xrow[j] * krow[j]
+				}
+			}
+			rhs.Set(q, 0, s)
+		}
+		sub := mat.New(rows, len(free))
+		for q := 0; q < rows; q++ {
+			krow := kr.Row(q)
+			srow := sub.Row(q)
+			for c, j := range free {
+				srow[c] = krow[j]
+			}
+		}
+		// Proximal ridge solve: min ‖sub·x − rhs‖² + ε‖x − x_prev‖². The
+		// tiny proximal term keeps rank-deficient (gauge) directions pinned
+		// to the current iterate instead of letting them blow up — plain
+		// least squares here destabilizes the sieve.
+		g := linalg.Gram(sub)
+		eps := 0.0
+		for c := 0; c < g.Rows(); c++ {
+			eps += g.At(c, c)
+		}
+		eps = 1e-9 * (eps/float64(g.Rows()) + 1)
+		linalg.AddDiag(g, eps)
+		subT := mat.New(sub.Cols(), sub.Rows())
+		mat.Transpose(subT, sub)
+		r2 := linalg.MatMul(subT, rhs)
+		for c, j := range free {
+			r2.Set(c, 0, r2.At(c, 0)+eps*xrow[j])
+		}
+		sol, err := linalg.SolveSPD(g, r2)
+		if err != nil {
+			continue
+		}
+		for c, j := range free {
+			xrow[j] = sol.At(c, 0)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package stability measures the numerical accuracy of fast algorithms — the
+// open issue §6 of the paper flags ("we have not explored the numerical
+// stability of the exact algorithms ... our framework will allow for rapid
+// empirical testing"). This package is that rapid empirical testing: it
+// compares a fast algorithm's output against a compensated classical
+// reference and reports normwise relative error as a function of the number
+// of recursive steps.
+package stability
+
+import (
+	"math/rand"
+
+	"fastmm/internal/algo"
+	"fastmm/internal/core"
+	"fastmm/internal/mat"
+)
+
+// Measurement reports the error of one algorithm/steps configuration.
+type Measurement struct {
+	Algorithm string
+	Steps     int
+	N         int
+	// RelError is max_ij |C_fast − C_ref| / (‖A‖_max·‖B‖_max·k), a
+	// normwise relative forward error.
+	RelError float64
+}
+
+// reference computes C = A·B in compensated (Kahan) summation, giving a
+// reference accurate to well below the errors being measured.
+func reference(C, A, B *mat.Dense) {
+	m, k, n := A.Rows(), A.Cols(), B.Cols()
+	for i := 0; i < m; i++ {
+		ai := A.Row(i)
+		ci := C.Row(i)
+		for j := 0; j < n; j++ {
+			var sum, comp float64
+			for p := 0; p < k; p++ {
+				y := ai[p]*B.At(p, j) - comp
+				t := sum + y
+				comp = (t - sum) - y
+				sum = t
+			}
+			ci[j] = sum
+		}
+	}
+}
+
+// Measure runs one configuration on random [-1,1) matrices.
+func Measure(a *algo.Algorithm, steps, n int, seed int64) (Measurement, error) {
+	rng := rand.New(rand.NewSource(seed))
+	A := mat.New(n, n)
+	B := mat.New(n, n)
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+
+	ref := mat.New(n, n)
+	reference(ref, A, B)
+
+	got := mat.New(n, n)
+	if steps == 0 {
+		// Classical baseline: the blocked gemm kernel itself.
+		e, err := core.New(algo.Classical(2, 2, 2), core.Options{Steps: 1})
+		if err != nil {
+			return Measurement{}, err
+		}
+		if err := e.Multiply(got, A, B); err != nil {
+			return Measurement{}, err
+		}
+	} else {
+		e, err := core.New(a, core.Options{Steps: steps})
+		if err != nil {
+			return Measurement{}, err
+		}
+		if err := e.Multiply(got, A, B); err != nil {
+			return Measurement{}, err
+		}
+	}
+
+	scale := A.MaxAbs() * B.MaxAbs() * float64(n)
+	if scale == 0 {
+		scale = 1
+	}
+	return Measurement{
+		Algorithm: a.Name,
+		Steps:     steps,
+		N:         n,
+		RelError:  mat.MaxAbsDiff(got, ref) / scale,
+	}, nil
+}
+
+// Sweep measures an algorithm across step counts.
+func Sweep(a *algo.Algorithm, maxSteps, n int, seed int64) ([]Measurement, error) {
+	var out []Measurement
+	for s := 0; s <= maxSteps; s++ {
+		m, err := Measure(a, s, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// MachineEps is the double-precision unit roundoff, exported for reporting.
+const MachineEps = 2.220446049250313e-16
+
+// GrowthFactor returns the error amplification of measurement m relative to
+// machine epsilon (how many ulps of headroom the algorithm consumed).
+func GrowthFactor(m Measurement) float64 {
+	if m.RelError == 0 {
+		return 0
+	}
+	return m.RelError / MachineEps
+}

@@ -1,0 +1,65 @@
+package stability
+
+import (
+	"testing"
+
+	"fastmm/internal/catalog"
+)
+
+func TestClassicalErrorNearMachineEps(t *testing.T) {
+	m, err := Measure(catalog.Strassen(), 0, 96, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RelError > 100*MachineEps {
+		t.Fatalf("classical error %g too large", m.RelError)
+	}
+}
+
+func TestStrassenErrorSmallButAboveClassical(t *testing.T) {
+	c, err := Measure(catalog.Strassen(), 0, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Measure(catalog.Strassen(), 2, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strassen loses some accuracy but stays far from the worst case
+	// (paper §1: "not nearly as bad as the worst-case guarantees").
+	if s.RelError < c.RelError {
+		t.Logf("unusual: fast error %g below classical %g", s.RelError, c.RelError)
+	}
+	if s.RelError > 1e-10 {
+		t.Fatalf("Strassen 2-step error %g implausibly large", s.RelError)
+	}
+}
+
+func TestErrorGrowsWithSteps(t *testing.T) {
+	ms, err := Sweep(catalog.Strassen(), 3, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("len %d", len(ms))
+	}
+	// Error at 3 steps should be at least that of 0 steps (monotone trend
+	// holds statistically; allow equality).
+	if ms[3].RelError < ms[0].RelError/4 {
+		t.Fatalf("error should not shrink with depth: %v vs %v", ms[3].RelError, ms[0].RelError)
+	}
+	for _, m := range ms {
+		if m.N != 120 || m.Algorithm != "strassen" {
+			t.Fatalf("metadata: %+v", m)
+		}
+	}
+}
+
+func TestGrowthFactor(t *testing.T) {
+	if GrowthFactor(Measurement{RelError: 0}) != 0 {
+		t.Fatal("zero error → zero growth")
+	}
+	if g := GrowthFactor(Measurement{RelError: MachineEps * 8}); g < 7.9 || g > 8.1 {
+		t.Fatalf("growth %v", g)
+	}
+}

@@ -1,0 +1,56 @@
+// Package search is the public face of the framework's algorithm-discovery
+// machinery (Benson & Ballard §2.3.2): alternating least squares over the
+// ⟨M,K,N⟩ matrix-multiplication tensor, plus the discretization passes that
+// turn numerical solutions into exact algorithms (rounding/exactification
+// and the progressive-freezing sieve).
+//
+// Typical use:
+//
+//	res, err := search.ForBaseCase(2, 2, 2, search.Options{Rank: 7, Starts: 30})
+//	if err == nil {
+//		alg, err := search.Exactify(fastmm.BaseCase{M: 2, K: 2, N: 2},
+//			res.U, res.V, res.W, "my-strassen", 0.1)
+//		...
+//	}
+package search
+
+import (
+	"fastmm/internal/algo"
+	"fastmm/internal/mat"
+	internal "fastmm/internal/search"
+	"fastmm/internal/tensor"
+)
+
+// Options controls the ALS search; see the fields' documentation.
+type Options = internal.Options
+
+// Result is a (possibly inexact) numerical factorization.
+type Result = internal.Result
+
+// ErrNoConvergence and ErrNotDiscrete classify search failures.
+var (
+	ErrNoConvergence = internal.ErrNoConvergence
+	ErrNotDiscrete   = internal.ErrNotDiscrete
+)
+
+// ForBaseCase runs multi-start ALS against the ⟨m,k,n⟩ tensor.
+func ForBaseCase(m, k, n int, opts Options) (*Result, error) {
+	return internal.ALS(tensor.MatMul(m, k, n), opts)
+}
+
+// Exactify rounds a converged factorization to the discrete grid, re-solving
+// factors exactly, and returns a verified algorithm.
+func Exactify(bc algo.BaseCase, u, v, w *mat.Dense, name string, roundTol float64) (*algo.Algorithm, error) {
+	return internal.Exactify(bc, u, v, w, name, roundTol)
+}
+
+// Sieve extracts a discrete algorithm from a generic converged solution by
+// progressive freezing with backtracking.
+func Sieve(bc algo.BaseCase, u, v, w *mat.Dense, name string) (*algo.Algorithm, error) {
+	return internal.Sieve(bc, u, v, w, name)
+}
+
+// Discover runs the full ALS → discretization pipeline.
+func Discover(bc algo.BaseCase, name string, opts Options) (*algo.Algorithm, error) {
+	return internal.Discover(bc, name, opts)
+}

@@ -1,0 +1,82 @@
+package search_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmm"
+	"fastmm/search"
+)
+
+func TestPublicSearchPipeline(t *testing.T) {
+	orig, err := fastmm.GetAlgorithm("strassen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	jitter := func(m *fastmm.Matrix) *fastmm.Matrix {
+		out := m.Clone()
+		for i := 0; i < out.Rows(); i++ {
+			for j := 0; j < out.Cols(); j++ {
+				out.Set(i, j, out.At(i, j)+0.03*(2*rng.Float64()-1))
+			}
+		}
+		return out
+	}
+	res, err := search.ForBaseCase(2, 2, 2, search.Options{
+		Rank: 7, MaxIter: 500, Tol: 1e-10, Starts: 1,
+		InitU: jitter(orig.U), InitV: jitter(orig.V), InitW: jitter(orig.W),
+	})
+	if err != nil {
+		t.Fatalf("ALS: %v (residual %g)", err, res.Residual)
+	}
+	bc := fastmm.BaseCase{M: 2, K: 2, N: 2}
+	a, err := search.Exactify(bc, res.U, res.V, res.W, "public-pipeline", 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rank() != 7 {
+		t.Fatalf("rank %d", a.Rank())
+	}
+	// The found algorithm plugs into the public executor.
+	exec, err := fastmm.NewExecutorFor(a, fastmm.Options{Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := fastmm.RandomMatrix(32, 32, 1)
+	B := fastmm.RandomMatrix(32, 32, 2)
+	C := fastmm.NewMatrix(32, 32)
+	if err := exec.Multiply(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSearchNoConvergenceError(t *testing.T) {
+	// Impossible rank: must surface ErrNoConvergence.
+	res, err := search.ForBaseCase(2, 2, 2, search.Options{Rank: 5, MaxIter: 100, Starts: 2, Seed: 5})
+	if err == nil {
+		t.Fatalf("expected failure, residual %g", res.Residual)
+	}
+}
+
+func TestPublicSieveSmoke(t *testing.T) {
+	orig, _ := fastmm.GetAlgorithm("strassen")
+	rng := rand.New(rand.NewSource(12))
+	jitter := func(m *fastmm.Matrix) *fastmm.Matrix {
+		out := m.Clone()
+		for i := 0; i < out.Rows(); i++ {
+			for j := 0; j < out.Cols(); j++ {
+				out.Set(i, j, out.At(i, j)+0.02*(2*rng.Float64()-1))
+			}
+		}
+		return out
+	}
+	bc := fastmm.BaseCase{M: 2, K: 2, N: 2}
+	a, err := search.Sieve(bc, jitter(orig.U), jitter(orig.V), jitter(orig.W), "sieved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fastmm.Verify(a); err != nil {
+		t.Fatal(err)
+	}
+}

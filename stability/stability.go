@@ -1,0 +1,31 @@
+// Package stability is the public face of the framework's numerical-accuracy
+// harness — the rapid empirical stability testing that §6 of Benson &
+// Ballard calls for. It measures the normwise relative forward error of a
+// fast algorithm against a compensated-summation classical reference.
+package stability
+
+import (
+	"fastmm/internal/algo"
+	internal "fastmm/internal/stability"
+)
+
+// Measurement reports the error of one algorithm/steps configuration.
+type Measurement = internal.Measurement
+
+// MachineEps is the double-precision unit roundoff.
+const MachineEps = internal.MachineEps
+
+// Measure runs one configuration on deterministic random [-1,1) matrices:
+// steps=0 measures the classical kernel, steps≥1 the fast algorithm with
+// that recursion depth.
+func Measure(a *algo.Algorithm, steps, n int, seed int64) (Measurement, error) {
+	return internal.Measure(a, steps, n, seed)
+}
+
+// Sweep measures an algorithm across recursion depths 0..maxSteps.
+func Sweep(a *algo.Algorithm, maxSteps, n int, seed int64) ([]Measurement, error) {
+	return internal.Sweep(a, maxSteps, n, seed)
+}
+
+// GrowthFactor expresses a measurement's error as a multiple of MachineEps.
+func GrowthFactor(m Measurement) float64 { return internal.GrowthFactor(m) }

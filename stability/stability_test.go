@@ -1,0 +1,48 @@
+package stability_test
+
+import (
+	"testing"
+
+	"fastmm"
+	"fastmm/stability"
+)
+
+func TestPublicMeasure(t *testing.T) {
+	a, err := fastmm.GetAlgorithm("strassen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := stability.Measure(a, 2, 96, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RelError <= 0 || m.RelError > 1e-12 {
+		t.Fatalf("implausible error %g", m.RelError)
+	}
+	if g := stability.GrowthFactor(m); g <= 0 {
+		t.Fatalf("growth %v", g)
+	}
+}
+
+func TestPublicSweep(t *testing.T) {
+	a, _ := fastmm.GetAlgorithm("winograd")
+	ms, err := stability.Sweep(a, 2, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("len %d", len(ms))
+	}
+	// The numeric fast323n entry must show distinctly worse accuracy than
+	// discrete algorithms — its coefficients carry ~1e-10 representation
+	// error (documented Numeric caveat).
+	nAlg, _ := fastmm.GetAlgorithm("fast323n")
+	mn, err := stability.Measure(nAlg, 1, 81, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _ := stability.Measure(a, 1, 81, 3)
+	if mn.RelError < md.RelError {
+		t.Fatalf("numeric coefficients should cost accuracy: %g vs %g", mn.RelError, md.RelError)
+	}
+}
