@@ -27,6 +27,17 @@
 //		Workers:  6,
 //	})
 //	err = exec.Multiply(C, A, B)
+//
+// An Executor owns reusable workspace arenas: every matrix temporary of
+// the recursion is carved from them, so steady-state Multiply calls on a
+// reused Executor are (amortized) allocation-free for sequential and
+// single-worker DFS execution, and allocation-bounded — proportional to
+// the goroutines fanned out, never to the flop count — for multi-worker
+// DFS, BFS, and HYBRID. WorkspaceBytes predicts a call's peak workspace
+// (the paper's Table 3 memory analysis), WorkspaceRetained reports what
+// the arenas currently hold, and Options.Workspace caps the footprint — a
+// BFS/HYBRID call that would exceed the cap degrades to the memory-minimal
+// DFS schedule.
 package fastmm
 
 import (

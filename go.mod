@@ -1,0 +1,3 @@
+module fastmm
+
+go 1.24

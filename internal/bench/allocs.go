@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fastmm/internal/catalog"
+	"fastmm/internal/core"
+)
+
+// runAllocs measures the workspace-arena payoff: allocations per Multiply
+// and effective GFLOPS for a reused Executor under each scheduler, plus the
+// executor's retained-workspace and Table-3-style predicted footprint. This
+// is the memory-traffic side of the paper's §4 trade-off that the timing
+// figures can't show: before the arenas the recursion allocated every
+// S_r/T_r/M_r temporary per call; now steady-state DFS is allocation-free.
+func runAllocs(cfg Config) ([]Point, error) {
+	n := cfg.scaled(512)
+	steps := 2
+	if cfg.Quick {
+		n = 128
+	}
+	A, B, C := operands(n, n, n)
+
+	fmt.Fprintf(cfg.Out, "\nExecutor reuse: allocs/op next to GFLOPS (strassen, %d steps, N=%d, %d workers)\n", steps, n, cfg.Workers)
+	fmt.Fprintf(cfg.Out, "  %-12s %12s %12s %14s %16s\n", "scheduler", "allocs/op", "eff GFLOPS", "retained MiB", "predicted MiB")
+
+	var pts []Point
+	for _, mode := range []core.Parallel{core.Sequential, core.DFS, core.BFS, core.Hybrid} {
+		a, err := catalog.Get("strassen")
+		if err != nil {
+			return nil, err
+		}
+		workers := cfg.Workers
+		if mode == core.Sequential {
+			workers = 1
+		}
+		e, err := core.New(a, core.Options{Steps: steps, Parallel: mode, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Multiply(C, A, B); err != nil { // warm the arenas
+			return nil, err
+		}
+
+		runs := cfg.Trials
+		if runs < 1 {
+			runs = 1
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			if err := e.Multiply(C, A, B); err != nil {
+				return nil, err
+			}
+		}
+		secs := time.Since(start).Seconds() / float64(runs)
+		runtime.ReadMemStats(&ms1)
+		allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(runs)
+
+		eff := effective(n, n, n, secs)
+		fmt.Fprintf(cfg.Out, "  %-12s %12.1f %12.3f %14.2f %16.2f\n",
+			mode.String(), allocs, eff,
+			float64(e.WorkspaceRetained())/(1<<20),
+			float64(e.WorkspaceBytes(n, n, n))/(1<<20))
+		pts = append(pts, Point{Series: mode.String(), X: n, P: n, Q: n, R: n,
+			Workers: workers, Seconds: secs, Eff: eff, EffCore: eff / float64(workers)})
+	}
+	return pts, nil
+}

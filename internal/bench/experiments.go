@@ -65,6 +65,7 @@ func init() {
 	registerExperiment("stream", "§4.5: memory bandwidth vs gemm scaling with cores", runStream)
 	registerExperiment("stability", "§6: forward error of fast algorithms vs recursion depth", runStability)
 	registerExperiment("nnz", "§6 ablation: rank vs factor sparsity (<3,2,3> rank 17 sparse vs rank 15 dense)", runNNZ)
+	registerExperiment("allocs", "workspace arenas: allocs/op and retained workspace per scheduler", runAllocs)
 }
 
 // runNNZ is an ablation supporting the paper's §6 conclusion 3: for a given

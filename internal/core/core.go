@@ -11,6 +11,16 @@
 // a worker semaphore), and HYBRID (task parallelism for the load-balanced
 // prefix of leaf multiplications, then the remainder with all workers on
 // each).
+//
+// All recursion temporaries — the S_r/T_r operand combinations, the M_r
+// products, block-view headers, and the addition plans' coefficient scratch
+// — come from workspace arenas owned by the Executor (§4's memory
+// trade-off, Table 3): DFS reuses one arena with stack discipline, while
+// BFS/HYBRID hand each spawned task its own arena from the executor's pool.
+// After warm-up a sequential or single-worker-DFS Multiply call is
+// therefore (amortized) allocation-free; parallel configurations allocate
+// only per goroutine fanned out (task closures, slab views), never per
+// matrix temporary.
 package core
 
 import (
@@ -23,6 +33,7 @@ import (
 	"fastmm/internal/algo"
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/workspace"
 )
 
 // Parallel selects the scheduling scheme of §4.
@@ -76,6 +87,14 @@ type Options struct {
 	// (default GOMAXPROCS).
 	Parallel Parallel
 	Workers  int
+	// Workspace, when positive, caps the predicted workspace (in bytes,
+	// per WorkspaceBytes) a Multiply call may claim. A BFS or HYBRID call
+	// whose per-branch workspace would exceed the cap degrades to DFS —
+	// the paper's memory-vs-parallelism dial (§4, Table 3) — and the
+	// executor's arena pool sheds arenas beyond (approximately) this many
+	// bytes, while always keeping one so reuse survives a cap below even
+	// the DFS footprint.
+	Workspace int64
 	// Stats, when non-nil, accumulates scheduler counters across Multiply
 	// calls (atomic; safe under all schedulers). Used by tests and by the
 	// tracing output of cmd/fmmbench to validate §4's scheduling shapes.
@@ -141,10 +160,13 @@ type levelPlan struct {
 }
 
 // Executor multiplies matrices with a fixed algorithm schedule and options.
-// It is safe for concurrent use by multiple goroutines.
+// It is safe for concurrent use by multiple goroutines. Reusing one Executor
+// across Multiply calls reuses its workspace arenas, so steady-state calls
+// are (amortized) allocation-free.
 type Executor struct {
 	schedule []levelPlan
 	opts     Options
+	arenas   workspace.Pool
 }
 
 // New builds an executor for a single algorithm.
@@ -161,6 +183,7 @@ func NewSchedule(algs []*algo.Algorithm, opts Options) (*Executor, error) {
 	}
 	opts = opts.withDefaults()
 	e := &Executor{opts: opts}
+	e.arenas.MaxBytes = opts.Workspace
 	for _, a := range algs {
 		if a == nil {
 			return nil, fmt.Errorf("core: nil algorithm in schedule")
@@ -196,12 +219,135 @@ func (e *Executor) Multiply(C, A, B *mat.Dense) error {
 		return fmt.Errorf("core: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
 			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
 	}
-	ctx := newRunContext(e.opts, e.leafCount())
-	ctx.root(func() {
-		e.multiply(ctx, C, A, B, 1, 0, 0)
-	})
+	mode := e.scheduleMode(A.Rows(), A.Cols(), B.Cols())
+	ctx := newRunContext(e.opts, mode, e.leafCount())
+	ar := e.arenas.Get()
+	// Returned via defer so a panic escaping the recursion (e.g. a caller
+	// mutating an operand concurrently) cannot leak the warmed arena. For
+	// Hybrid, ctx.root only returns once the tree goroutine has finished,
+	// so the arena is idle by the time the defer runs.
+	defer e.arenas.Put(ar)
+	if mode == Sequential || mode == DFS {
+		// Single-traversal modes use this one arena for the whole call:
+		// reserving the analytic footprint up front makes even the first
+		// call's matrix temporaries a single chunk allocation.
+		ar.Reserve(int(e.workspaceFloats(mode, A.Rows(), A.Cols(), B.Cols(), 0)))
+	}
+	if mode != Hybrid {
+		// Only HYBRID needs the deferred-leaf pump of ctx.root; calling
+		// multiply directly keeps the hot path free of closure allocations.
+		e.multiply(ctx, ar, C, A, B, 1, 0, 0)
+	} else {
+		ctx.root(func() {
+			e.multiply(ctx, ar, C, A, B, 1, 0, 0)
+		})
+	}
 	return nil
 }
+
+// scheduleMode resolves the scheduler for one call: the configured mode,
+// degraded BFS/HYBRID→DFS when the Workspace cap would be exceeded (§4's
+// memory trade-off; DFS is the minimum-workspace traversal, so it is never
+// degraded further).
+func (e *Executor) scheduleMode(p, q, r int) Parallel {
+	mode := e.opts.Parallel
+	if cap := e.opts.Workspace; cap > 0 && (mode == BFS || mode == Hybrid) {
+		if e.workspaceBytes(mode, p, q, r) > cap {
+			mode = DFS
+		}
+	}
+	return mode
+}
+
+// WorkspaceBytes predicts the peak workspace (in bytes) one Multiply of a
+// p×q by q×r problem claims under the executor's configured scheduler — the
+// analytic memory model of the paper's Table 3, extended with the gemm
+// kernel's per-worker packing slabs. DFS charges one branch per level;
+// BFS/HYBRID charge every concurrent branch. The estimate walks the actual
+// recursion tree (schedule, steps, peeling cores), so it is exact for the
+// matrix temporaries; per-task scratch (headers, coefficient slabs, one
+// 32 KiB minimum arena chunk per concurrent task) adds small change on top
+// that the Workspace cap does not meter.
+func (e *Executor) WorkspaceBytes(p, q, r int) int64 {
+	return e.workspaceBytes(e.opts.Parallel, p, q, r)
+}
+
+func (e *Executor) workspaceBytes(mode Parallel, p, q, r int) int64 {
+	floats := e.workspaceFloats(mode, p, q, r, 0)
+	packWorkers := 1
+	if mode != Sequential {
+		packWorkers = e.opts.Workers
+	}
+	return 8 * (floats + int64(packWorkers)*gemm.PackFloatsPerWorker)
+}
+
+// workspaceFloats counts the float64 temporaries live at once in the
+// subtree rooted at the given level and dims, mirroring the allocation
+// pattern of fastStep: every M_r is materialized, operands that are scaled
+// copies of a source block are aliased (no buffer), CSE aux temporaries
+// are materialized per formOperand call (per branch) but only once per
+// family under streaming.
+func (e *Executor) workspaceFloats(mode Parallel, p, q, r, level int) int64 {
+	if !e.shouldRecurse(level, p, q, r) {
+		return 0
+	}
+	lp := e.schedule[level%len(e.schedule)]
+	b := lp.alg.Base
+	R := int64(lp.alg.Rank())
+	bm, bk, bn := p/b.M, q/b.K, r/b.N // peeling-core block dims
+	sUnit, tUnit := int64(bm*bk), int64(bk*bn)
+	auxS, auxT := int64(len(lp.splan.Aux)), int64(len(lp.tplan.Aux))
+	matS, matT := int64(materializedOutputs(lp.splan)), int64(materializedOutputs(lp.tplan))
+	streamCost := sUnit*(auxS+matS) + tUnit*(auxT+matT) // whole family at once
+	self := R * int64(bm*bn)                            // the M_r products, all live until the combine
+	child := e.workspaceFloats(mode, bm, bk, bn, level+1)
+	if (mode == BFS || mode == Hybrid) && e.shouldSpawn(level) {
+		// Every branch runs concurrently with its own operand buffers
+		// (streaming still forms the families once, in the parent). Aux
+		// temporaries only materialize in branches that form an operand.
+		if e.opts.Strategy == addchain.Streaming {
+			return self + streamCost + R*child
+		}
+		return self + sUnit*matS*(1+auxS) + tUnit*matT*(1+auxT) + R*child
+	}
+	if e.opts.Strategy == addchain.Streaming {
+		return self + streamCost + child
+	}
+	// One branch at a time: its operands are released before the next, so
+	// the peak is one materialized operand plus its aux (aliased branches
+	// materialize nothing, aux included).
+	var perS, perT int64
+	if matS > 0 {
+		perS = 1 + auxS
+	}
+	if matT > 0 {
+		perT = 1 + auxT
+	}
+	return self + sUnit*perS + tUnit*perT + child
+}
+
+// aliasedOutput reports whether plan output ch is served by aliasing a
+// source block with a scalar factor instead of materializing a buffer —
+// the single shared decision used by formOperand, streamFamily, and the
+// workspace model.
+func aliasedOutput(p *addchain.Plan, ch addchain.Chain) bool {
+	return len(ch.Terms) > 0 && ch.IsScaledCopy() && ch.Terms[0].Src < p.NumSources
+}
+
+// materializedOutputs counts the plan outputs that require a buffer.
+func materializedOutputs(p *addchain.Plan) int {
+	n := 0
+	for _, ch := range p.Outputs {
+		if !aliasedOutput(p, ch) {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkspaceRetained reports the bytes currently held by the executor's
+// arena pool — the live counterpart of the WorkspaceBytes prediction.
+func (e *Executor) WorkspaceRetained() int64 { return e.arenas.Bytes() }
 
 // leafCount returns R^L, the number of leaf multiplications for explicit
 // Steps (used by Hybrid's load-balance split). For auto cutoff it returns 0
@@ -236,9 +382,10 @@ func (e *Executor) shouldRecurse(level int, p, q, r int) bool {
 	return p/b.M >= e.opts.MinDim && q/b.K >= e.opts.MinDim && r/b.N >= e.opts.MinDim
 }
 
-// multiply computes C = alpha·A·B recursively. leafBase locates this
-// subtree's first leaf in the global preorder numbering (HYBRID bookkeeping).
-func (e *Executor) multiply(ctx *runContext, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
+// multiply computes C = alpha·A·B recursively within arena ar (owned by the
+// calling goroutine). leafBase locates this subtree's first leaf in the
+// global preorder numbering (HYBRID bookkeeping).
+func (e *Executor) multiply(ctx *runContext, ar *workspace.Arena, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
 	p, q, r := A.Rows(), A.Cols(), B.Cols()
 	if !e.shouldRecurse(level, p, q, r) {
 		e.leafMultiply(ctx, C, A, B, alpha, level, leafBase)
@@ -250,31 +397,33 @@ func (e *Executor) multiply(ctx *runContext, C, A, B *mat.Dense, alpha float64, 
 	// Dynamic peeling (§3.5): carve the largest (M·i)×(K·j)×(N·k) core and
 	// fix up the borders with classical products.
 	pc, qc, rc := p-p%b.M, q-q%b.K, r-r%b.N
-	a11 := A.View(0, 0, pc, qc)
-	b11 := B.View(0, 0, qc, rc)
-	c11 := C.View(0, 0, pc, rc)
-	e.fastStep(ctx, lp, c11, a11, b11, alpha, level, leafBase)
+	a11 := ar.View(A, 0, 0, pc, qc)
+	b11 := ar.View(B, 0, 0, qc, rc)
+	c11 := ar.View(C, 0, 0, pc, rc)
+	e.fastStep(ctx, ar, lp, c11, a11, b11, alpha, level, leafBase)
 
+	// The fixup closures run on this goroutine (directly, or inside its
+	// bounded-compute section), so the views can come from this arena.
 	if qc < q { // C11 += A12·B21
 		e.countFixup()
 		ctx.fixup(level, func(w int) {
-			gemm.MulAddParallel(c11, alpha, A.View(0, qc, pc, q-qc), B.View(qc, 0, q-qc, rc), w)
+			gemm.MulAddParallel(c11, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, 0, q-qc, rc), w)
 		})
 	}
 	if rc < r { // C12 = A11·B12 + A12·B22
 		e.countFixup()
 		ctx.fixup(level, func(w int) {
-			c12 := C.View(0, rc, pc, r-rc)
-			gemm.MulParallel(c12, alpha, A.View(0, 0, pc, qc), B.View(0, rc, qc, r-rc), w)
+			c12 := ar.View(C, 0, rc, pc, r-rc)
+			gemm.MulParallel(c12, alpha, ar.View(A, 0, 0, pc, qc), ar.View(B, 0, rc, qc, r-rc), w)
 			if qc < q {
-				gemm.MulAddParallel(c12, alpha, A.View(0, qc, pc, q-qc), B.View(qc, rc, q-qc, r-rc), w)
+				gemm.MulAddParallel(c12, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, rc, q-qc, r-rc), w)
 			}
 		})
 	}
 	if pc < p { // [C21 C22] = A2·B (full-width bottom strip)
 		e.countFixup()
 		ctx.fixup(level, func(w int) {
-			gemm.MulParallel(C.View(pc, 0, p-pc, r), alpha, A.View(pc, 0, p-pc, q), B, w)
+			gemm.MulParallel(ar.View(C, pc, 0, p-pc, r), alpha, ar.View(A, pc, 0, p-pc, q), B, w)
 		})
 	}
 }
@@ -320,63 +469,71 @@ type operand struct {
 	alpha float64
 }
 
+// operands is an arena-backed family of operands (parallel slices, so both
+// parts come from existing arena slabs). The zero value means "not formed".
+type operands struct {
+	mats   []*mat.Dense
+	alphas []float64
+}
+
+func (o operands) at(r int) operand { return operand{m: o.mats[r], alpha: o.alphas[r]} }
+
 // fastStep performs one recursive step of the fast algorithm on a core whose
-// dimensions divide the base case exactly.
-func (e *Executor) fastStep(ctx *runContext, lp levelPlan, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
+// dimensions divide the base case exactly. All temporaries come from ar; the
+// step's mark is released on return, so a DFS traversal reuses one level's
+// buffers across siblings while spawned BFS/HYBRID branches draw their own
+// arenas from the executor pool (the M_r stay in the parent's arena — the
+// parent outlives its children and combines their results).
+func (e *Executor) fastStep(ctx *runContext, ar *workspace.Arena, lp levelPlan, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
 	b := lp.alg.Base
 	R := lp.alg.Rank()
 	bm, bk, bn := A.Rows()/b.M, A.Cols()/b.K, B.Cols()/b.N
 
-	ablocks := blocks(A, b.M, b.K)
-	bblocks := blocks(B, b.K, b.N)
-	cblocks := blocks(C, b.M, b.N)
+	mark := ar.Mark()
+	defer ar.Release(mark)
+
+	ablocks := blocks(ar, A, b.M, b.K)
+	bblocks := blocks(ar, B, b.K, b.N)
+	cblocks := blocks(ar, C, b.M, b.N)
 
 	// The streaming strategy (§3.2 method 3) forms every S_r and T_r up
 	// front in one pass over the source blocks, at the cost of keeping all
 	// R temporaries alive — exactly the memory trade-off the paper
 	// describes. The other strategies form each operand inside task r.
-	var sOps, tOps []operand
+	// The operand families live as parallel mats/alphas slices so they
+	// come from the arena (there is no operand-struct slab).
+	var sOps, tOps operands
 	if e.opts.Strategy == addchain.Streaming {
 		aw := ctx.additionWorkers()
-		sOps = e.streamFamily(lp.splan, ablocks, bm, bk, alpha, aw)
-		tOps = e.streamFamily(lp.tplan, bblocks, bk, bn, 1, aw)
+		sOps = e.streamFamily(ar, lp.splan, ablocks, bm, bk, alpha, aw)
+		tOps = e.streamFamily(ar, lp.tplan, bblocks, bk, bn, 1, aw)
 	}
 
-	ms := make([]*mat.Dense, R)
-	childSpan := maxInt(1, e.leavesFrom(level+1))
-
-	topLevel := level == 0
-	spawn := (ctx.mode == BFS || ctx.mode == Hybrid) && e.shouldSpawn(level)
-	var wg sync.WaitGroup
+	// The M_r live in this (parent) arena: they must survive until the
+	// combine below, after every child arena has been returned.
+	ms := ar.Ptrs(R)
 	for r := 0; r < R; r++ {
-		task := func(r int) {
+		ms[r] = ar.Matrix(bm, bn)
+	}
+	childSpan := maxInt(1, e.leavesFrom(level+1))
+	topLevel := level == 0
+
+	if (ctx.mode == BFS || ctx.mode == Hybrid) && e.shouldSpawn(level) {
+		e.fanOut(ctx, lp, sOps, tOps, ablocks, bblocks, ms, bm, bk, bn, alpha, level, leafBase, childSpan)
+	} else {
+		for r := 0; r < R; r++ {
+			rmark := ar.Mark()
 			var s, t operand
-			if sOps != nil {
-				s, t = sOps[r], tOps[r]
+			if sOps.mats != nil {
+				s, t = sOps.at(r), tOps.at(r)
 			} else {
-				ctx.compute(func() {
-					s = e.formOperand(ctx, lp.splan, r, ablocks, bm, bk, alpha)
-					t = e.formOperand(ctx, lp.tplan, r, bblocks, bk, bn, 1)
-				})
+				s = e.formOperand(ctx, ar, lp.splan, r, ablocks, bm, bk, alpha)
+				t = e.formOperand(ctx, ar, lp.tplan, r, bblocks, bk, bn, 1)
 			}
-			m := mat.New(bm, bn)
-			ms[r] = m
-			e.multiply(ctx, m, s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan)
-		}
-		if spawn {
-			if s := e.opts.Stats; s != nil {
-				s.add(&s.TasksSpawned, 1)
-			}
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
-				task(r)
-			}(r)
-		} else {
-			task(r)
+			e.multiply(ctx, ar, ms[r], s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan)
+			ar.Release(rmark)
 		}
 	}
-	wg.Wait()
 
 	// Combine the M_r into the C blocks. At the top level all workers are
 	// available (§4.2); deeper combines run inside their own task.
@@ -385,10 +542,40 @@ func (e *Executor) fastStep(ctx *runContext, lp levelPlan, C, A, B *mat.Dense, a
 		combineWorkers = ctx.workers
 	}
 	if (ctx.mode == BFS || ctx.mode == Hybrid) && !topLevel {
-		ctx.compute(func() { e.combine(lp.cplan, cblocks, ms, combineWorkers) })
+		ctx.compute(func() { e.combine(ar, lp.cplan, cblocks, ms, combineWorkers) })
 	} else {
-		e.combine(lp.cplan, cblocks, ms, combineWorkers)
+		e.combine(ar, lp.cplan, cblocks, ms, combineWorkers)
 	}
+}
+
+// fanOut runs one recursion level's R branch multiplications as BFS/HYBRID
+// tasks. It lives apart from fastStep so the goroutine closure's captures
+// (sOps, tOps, ms, …) are heap-moved only on spawning paths — a DFS
+// traversal through fastStep must stay allocation-free.
+func (e *Executor) fanOut(ctx *runContext, lp levelPlan, sOps, tOps operands, ablocks, bblocks, ms []*mat.Dense, bm, bk, bn int, alpha float64, level, leafBase, childSpan int) {
+	var wg sync.WaitGroup
+	for r := 0; r < lp.alg.Rank(); r++ {
+		if s := e.opts.Stats; s != nil {
+			s.add(&s.TasksSpawned, 1)
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			car := e.arenas.Get()
+			defer e.arenas.Put(car)
+			var s, t operand
+			if sOps.mats != nil {
+				s, t = sOps.at(r), tOps.at(r)
+			} else {
+				ctx.compute(func() {
+					s = e.formOperand(ctx, car, lp.splan, r, ablocks, bm, bk, alpha)
+					t = e.formOperand(ctx, car, lp.tplan, r, bblocks, bk, bn, 1)
+				})
+			}
+			e.multiply(ctx, car, ms[r], s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan)
+		}(r)
+	}
+	wg.Wait()
 }
 
 // shouldSpawn limits task creation to recursion levels that still have
@@ -397,13 +584,14 @@ func (e *Executor) shouldSpawn(level int) bool {
 	return e.opts.Steps == 0 || level < e.opts.Steps
 }
 
-// blocks slices m into an mb×nb grid of equal views (dims must divide).
-func blocks(m *mat.Dense, mb, nb int) []*mat.Dense {
+// blocks slices m into an mb×nb grid of equal arena-backed views (dims must
+// divide).
+func blocks(ar *workspace.Arena, m *mat.Dense, mb, nb int) []*mat.Dense {
 	rb, cb := m.Rows()/mb, m.Cols()/nb
-	out := make([]*mat.Dense, 0, mb*nb)
+	out := ar.Ptrs(mb * nb)
 	for i := 0; i < mb; i++ {
 		for j := 0; j < nb; j++ {
-			out = append(out, m.View(i*rb, j*cb, rb, cb))
+			out[i*nb+j] = ar.View(m, i*rb, j*cb, rb, cb)
 		}
 	}
 	return out
@@ -413,19 +601,21 @@ func blocks(m *mat.Dense, mb, nb int) []*mat.Dense {
 // returns an aliased block with a scalar factor when the chain is a scaled
 // copy (§3.1). alpha is a pending scale of the source operand and multiplies
 // into the formed combination.
-func (e *Executor) formOperand(ctx *runContext, plan *addchain.Plan, r int, src []*mat.Dense, rows, cols int, alpha float64) operand {
+func (e *Executor) formOperand(ctx *runContext, ar *workspace.Arena, plan *addchain.Plan, r int, src []*mat.Dense, rows, cols int, alpha float64) operand {
 	ch := plan.Outputs[r]
 	if len(ch.Terms) == 0 {
-		return operand{m: mat.New(rows, cols), alpha: 0}
+		z := ar.Matrix(rows, cols)
+		z.Zero()
+		return operand{m: z, alpha: 0}
 	}
-	if ch.IsScaledCopy() && ch.Terms[0].Src < plan.NumSources {
+	if aliasedOutput(plan, ch) {
 		return operand{m: src[ch.Terms[0].Src], alpha: alpha * ch.Terms[0].Coeff}
 	}
 	workers := ctx.additionWorkers()
-	nodes := e.nodes(plan, src, rows, cols, workers)
-	dst := mat.New(rows, cols)
-	coeffs := make([]float64, len(ch.Terms))
-	srcs := make([]*mat.Dense, len(ch.Terms))
+	nodes := e.nodes(ar, plan, src, rows, cols, workers)
+	dst := ar.Matrix(rows, cols)
+	coeffs := ar.Floats(len(ch.Terms))
+	srcs := ar.Ptrs(len(ch.Terms))
 	for i, t := range ch.Terms {
 		coeffs[i] = alpha * t.Coeff
 		srcs[i] = nodes[t.Src]
@@ -444,25 +634,27 @@ func (e *Executor) formOperand(ctx *runContext, plan *addchain.Plan, r int, src 
 // streamFamily forms all outputs of a plan in one pass over the source
 // blocks: for each node, scatter its contribution into every destination
 // that uses it (§3.2 method 3). Scaled copies are still aliased.
-func (e *Executor) streamFamily(plan *addchain.Plan, src []*mat.Dense, rows, cols int, alpha float64, workers int) []operand {
-	nodes := e.nodes(plan, src, rows, cols, workers)
-	out := make([]operand, len(plan.Outputs))
-	touched := make([]bool, len(plan.Outputs))
+func (e *Executor) streamFamily(ar *workspace.Arena, plan *addchain.Plan, src []*mat.Dense, rows, cols int, alpha float64, workers int) operands {
+	nodes := e.nodes(ar, plan, src, rows, cols, workers)
+	out := operands{mats: ar.Ptrs(len(plan.Outputs)), alphas: ar.Floats(len(plan.Outputs))}
+	touched := ar.Bools(len(plan.Outputs))
 	for r, ch := range plan.Outputs {
 		switch {
 		case len(ch.Terms) == 0:
-			out[r] = operand{m: mat.New(rows, cols), alpha: 0}
+			z := ar.Matrix(rows, cols)
+			z.Zero()
+			out.mats[r], out.alphas[r] = z, 0
 			touched[r] = true
-		case ch.IsScaledCopy() && ch.Terms[0].Src < plan.NumSources:
-			out[r] = operand{m: src[ch.Terms[0].Src], alpha: alpha * ch.Terms[0].Coeff}
+		case aliasedOutput(plan, ch):
+			out.mats[r], out.alphas[r] = src[ch.Terms[0].Src], alpha*ch.Terms[0].Coeff
 			touched[r] = true
 		default:
-			out[r] = operand{m: mat.New(rows, cols), alpha: 1}
+			out.mats[r], out.alphas[r] = ar.Matrix(rows, cols), 1
 		}
 	}
 	for n, node := range nodes {
 		for r, ch := range plan.Outputs {
-			if out[r].alpha != 1 || (len(ch.Terms) == 1 && ch.Terms[0].Src < plan.NumSources) {
+			if out.alphas[r] != 1 || aliasedOutput(plan, ch) {
 				continue // aliased or zero output
 			}
 			for _, t := range ch.Terms {
@@ -470,10 +662,10 @@ func (e *Executor) streamFamily(plan *addchain.Plan, src []*mat.Dense, rows, col
 					continue
 				}
 				if !touched[r] {
-					parScale(out[r].m, alpha*t.Coeff, node, workers)
+					parScale(out.mats[r], alpha*t.Coeff, node, workers)
 					touched[r] = true
 				} else {
-					parAxpy(out[r].m, alpha*t.Coeff, node, workers)
+					parAxpy(out.mats[r], alpha*t.Coeff, node, workers)
 				}
 			}
 		}
@@ -483,16 +675,16 @@ func (e *Executor) streamFamily(plan *addchain.Plan, src []*mat.Dense, rows, col
 
 // nodes resolves plan node ids to matrices, materializing CSE temporaries on
 // demand (write-once, in dependency order).
-func (e *Executor) nodes(plan *addchain.Plan, src []*mat.Dense, rows, cols, workers int) []*mat.Dense {
+func (e *Executor) nodes(ar *workspace.Arena, plan *addchain.Plan, src []*mat.Dense, rows, cols, workers int) []*mat.Dense {
 	if len(plan.Aux) == 0 {
 		return src
 	}
-	nodes := make([]*mat.Dense, plan.NumNodes())
+	nodes := ar.Ptrs(plan.NumNodes())
 	copy(nodes, src)
 	for _, aux := range plan.Aux {
-		d := mat.New(rows, cols)
-		coeffs := make([]float64, len(aux.Terms))
-		srcs := make([]*mat.Dense, len(aux.Terms))
+		d := ar.Matrix(rows, cols)
+		coeffs := ar.Floats(len(aux.Terms))
+		srcs := ar.Ptrs(len(aux.Terms))
 		for i, t := range aux.Terms {
 			coeffs[i] = t.Coeff
 			srcs[i] = nodes[t.Src]
@@ -504,19 +696,21 @@ func (e *Executor) nodes(plan *addchain.Plan, src []*mat.Dense, rows, cols, work
 }
 
 // combine forms the C blocks from the M_r per the configured strategy.
-func (e *Executor) combine(plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
+func (e *Executor) combine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
 	if e.opts.Strategy == addchain.Streaming {
-		e.streamCombine(plan, cblocks, ms, workers)
+		e.streamCombine(ar, plan, cblocks, ms, workers)
 		return
 	}
+	mark := ar.Mark()
+	defer ar.Release(mark)
 	for j, ch := range plan.Outputs {
 		dst := cblocks[j]
 		if len(ch.Terms) == 0 {
 			dst.Zero()
 			continue
 		}
-		coeffs := make([]float64, len(ch.Terms))
-		srcs := make([]*mat.Dense, len(ch.Terms))
+		coeffs := ar.Floats(len(ch.Terms))
+		srcs := ar.Ptrs(len(ch.Terms))
 		for i, t := range ch.Terms {
 			coeffs[i] = t.Coeff
 			srcs[i] = ms[t.Src]
@@ -534,8 +728,10 @@ func (e *Executor) combine(plan *addchain.Plan, cblocks, ms []*mat.Dense, worker
 
 // streamCombine implements the streaming strategy for the output side: walk
 // each M_r once and scatter its contribution into every C block using it.
-func (e *Executor) streamCombine(plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
-	touched := make([]bool, len(cblocks))
+func (e *Executor) streamCombine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
+	mark := ar.Mark()
+	defer ar.Release(mark)
+	touched := ar.Bools(len(cblocks))
 	for r, m := range ms {
 		for j, ch := range plan.Outputs {
 			for _, t := range ch.Terms {

@@ -31,9 +31,16 @@ type deferredLeaf struct {
 	done chan struct{}
 }
 
-func newRunContext(opts Options, totalLeaves int) *runContext {
-	ctx := &runContext{mode: opts.Parallel, workers: opts.Workers, totalLeaves: totalLeaves}
-	ctx.cond = sync.NewCond(&ctx.mu)
+// newRunContext builds the per-call scheduling state. mode is the resolved
+// scheduler for this call (it may differ from opts.Parallel when the
+// Workspace cap degraded BFS/HYBRID to DFS). The condition variable and
+// semaphore are created only for the modes that use them, keeping the
+// sequential and DFS hot paths allocation-light.
+func newRunContext(opts Options, mode Parallel, totalLeaves int) *runContext {
+	ctx := &runContext{mode: mode, workers: opts.Workers, totalLeaves: totalLeaves}
+	if ctx.mode == Hybrid {
+		ctx.cond = sync.NewCond(&ctx.mu)
+	}
 	if ctx.mode == BFS || ctx.mode == Hybrid {
 		ctx.sem = make(chan struct{}, ctx.workers)
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled relaxes allocation thresholds: race instrumentation defeats
+// the escape analysis that keeps fixup closures and scheduling state off
+// the heap, so alloc counts are higher under -race through no fault of the
+// arenas.
+const raceEnabled = true

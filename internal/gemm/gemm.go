@@ -162,11 +162,20 @@ func ranges(total, nchunks int) []span {
 	return out
 }
 
-// buffer pools for packed panels, shared across calls and goroutines.
-var (
-	packAPool = sync.Pool{New: func() any { return make([]float64, mc*kc) }}
-	packBPool = sync.Pool{New: func() any { return make([]float64, kc*nc) }}
-)
+// PackFloatsPerWorker is the float64 count of one worker's packing slab —
+// the gemm kernel's contribution to a scheduler's workspace footprint
+// (consumed by the executor's WorkspaceBytes accounting).
+const PackFloatsPerWorker = mc*kc + kc*nc
+
+// packBufs is one worker's packing slab: the A and B panel buffers together,
+// so a gemm call costs a single pool round-trip. Pooling pointers (not bare
+// slices) keeps steady-state Get/Put allocation-free — storing a []float64
+// in the pool's `any` would box a fresh slice header on every Put.
+type packBufs struct{ a, b []float64 }
+
+var packPool = sync.Pool{New: func() any {
+	return &packBufs{a: make([]float64, mc*kc), b: make([]float64, kc*nc)}
+}}
 
 func gemmSeq(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool) {
 	m, k, n := A.Rows(), A.Cols(), B.Cols()
@@ -177,10 +186,9 @@ func gemmSeq(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool) {
 	if !accumulate {
 		C.Zero()
 	}
-	ap := packAPool.Get().([]float64)
-	bp := packBPool.Get().([]float64)
-	defer packAPool.Put(ap)
-	defer packBPool.Put(bp)
+	pb := packPool.Get().(*packBufs)
+	ap, bp := pb.a, pb.b
+	defer packPool.Put(pb)
 
 	for pc := 0; pc < k; pc += kc {
 		kb := min(kc, k-pc)

@@ -86,15 +86,36 @@ func (m *Dense) Row(i int) []float64 {
 // View returns an r×c view with upper-left corner at (i, j), sharing storage
 // with m. Mutations through the view are visible in m and vice versa.
 func (m *Dense) View(i, j, r, c int) *Dense {
+	v := &Dense{}
+	m.ViewInto(v, i, j, r, c)
+	return v
+}
+
+// Reset reinitializes m in place as an r×c matrix (stride c) over data,
+// which must have length r*c and is aliased, not copied. It is the
+// allocation-free counterpart of FromSlice used by arena allocators
+// (internal/workspace) to stamp matrices onto preallocated headers.
+func (m *Dense) Reset(r, c int, data []float64) {
+	if r < 0 || c < 0 || len(data) != r*c {
+		panic(fmt.Sprintf("mat: Reset length %d != %d×%d", len(data), r, c))
+	}
+	m.rows, m.cols, m.stride, m.data = r, c, c, data
+}
+
+// ViewInto initializes dst as the r×c view of m with upper-left corner at
+// (i, j) — View's aliasing semantics without allocating the header. dst's
+// previous contents are overwritten.
+func (m *Dense) ViewInto(dst *Dense, i, j, r, c int) {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.rows || j+c > m.cols {
 		panic(fmt.Sprintf("mat: view [%d:%d, %d:%d] out of bounds of %d×%d", i, i+r, j, j+c, m.rows, m.cols))
 	}
 	if r == 0 || c == 0 {
-		return &Dense{rows: r, cols: c, stride: m.stride}
+		dst.rows, dst.cols, dst.stride, dst.data = r, c, m.stride, nil
+		return
 	}
 	off := i*m.stride + j
 	end := off + (r-1)*m.stride + c
-	return &Dense{rows: r, cols: c, stride: m.stride, data: m.data[off:end]}
+	dst.rows, dst.cols, dst.stride, dst.data = r, c, m.stride, m.data[off:end]
 }
 
 // Clone returns a compact (stride == cols) deep copy of m.

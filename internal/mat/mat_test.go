@@ -424,3 +424,77 @@ func TestFromSliceLengthPanics(t *testing.T) {
 	}()
 	FromSlice(2, 2, []float64{1, 2, 3})
 }
+
+func TestResetInPlace(t *testing.T) {
+	var m Dense
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m.Reset(2, 3, data)
+	if m.Rows() != 2 || m.Cols() != 3 || m.Stride() != 3 {
+		t.Fatalf("got %d×%d stride %d", m.Rows(), m.Cols(), m.Stride())
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %g", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if data[0] != 9 {
+		t.Fatal("Reset must alias, not copy")
+	}
+	// Re-stamping the same header with a new shape must work.
+	m.Reset(3, 2, data)
+	if m.At(2, 1) != 6 {
+		t.Fatalf("restamped At(2,1) = %g", m.At(2, 1))
+	}
+}
+
+func TestResetBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var m Dense
+	m.Reset(2, 2, make([]float64, 3))
+}
+
+func TestViewIntoMatchesView(t *testing.T) {
+	m := New(6, 7)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 7; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	want := m.View(2, 3, 3, 4)
+	var got Dense
+	m.ViewInto(&got, 2, 3, 3, 4)
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() || got.Stride() != want.Stride() {
+		t.Fatalf("shape %d×%d stride %d vs %d×%d stride %d",
+			got.Rows(), got.Cols(), got.Stride(), want.Rows(), want.Cols(), want.Stride())
+	}
+	if MaxAbsDiff(&got, want) != 0 {
+		t.Fatal("ViewInto content differs from View")
+	}
+	got.Set(0, 0, -1)
+	if m.At(2, 3) != -1 {
+		t.Fatal("ViewInto must alias the parent")
+	}
+}
+
+func TestViewIntoEmpty(t *testing.T) {
+	m := New(4, 4)
+	var v Dense
+	m.ViewInto(&v, 2, 2, 0, 2)
+	if v.Rows() != 0 || v.Cols() != 2 {
+		t.Fatalf("got %d×%d", v.Rows(), v.Cols())
+	}
+}
+
+func TestViewIntoOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := New(3, 3)
+	var v Dense
+	m.ViewInto(&v, 2, 2, 2, 2)
+}

@@ -1,0 +1,73 @@
+package workspace
+
+import "sync"
+
+// Pool is a concurrency-safe free list of Arenas. Unlike sync.Pool it is not
+// drained by the garbage collector, so an executor that has warmed its
+// arenas keeps them for the life of the executor — the retained bytes ARE
+// the workspace of the paper's Table 3 analysis, and Bytes reports them.
+//
+// Get never blocks: if the free list is empty a fresh Arena is created, so
+// arena acquisition can never deadlock against the scheduler semaphore.
+// MaxBytes, when positive, (approximately) caps retention: a Put that would
+// push the retained total past the cap discards the arena to the GC — but
+// an empty free list always accepts one arena, so a cap below the
+// single-arena footprint sheds BFS/HYBRID extras without silently reverting
+// every call to full reallocation.
+type Pool struct {
+	mu       sync.Mutex
+	free     []*Arena
+	bytes    int64 // total Bytes() across the free list
+	MaxBytes int64
+}
+
+// Get returns a reset arena, creating one if the free list is empty.
+func (p *Pool) Get() *Arena {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.bytes -= a.Bytes()
+		p.mu.Unlock()
+		return a
+	}
+	p.mu.Unlock()
+	return New()
+}
+
+// Put resets the arena and returns it to the free list (or drops it when the
+// retention cap would be exceeded and the list is not empty). Discarded
+// arenas are not reset — the GC collects them whole, so clearing their
+// header chunks would be wasted work.
+func (p *Pool) Put(a *Arena) {
+	if a == nil {
+		return
+	}
+	b := a.Bytes()
+	p.mu.Lock()
+	if p.MaxBytes > 0 && p.bytes+b > p.MaxBytes && len(p.free) > 0 {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	a.Reset() // outside the lock: the header/ptr clear is O(retained chunks)
+	p.mu.Lock()
+	p.bytes += b
+	p.free = append(p.free, a)
+	p.mu.Unlock()
+}
+
+// Bytes reports the bytes currently retained on the free list.
+func (p *Pool) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Arenas reports how many arenas are on the free list.
+func (p *Pool) Arenas() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
