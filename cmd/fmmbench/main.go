@@ -6,20 +6,26 @@
 //
 //	fmmbench -list                 # show experiment ids
 //	fmmbench -exp fig5             # one experiment
+//	fmmbench -exp allocs,auto      # several experiments
 //	fmmbench -exp all              # everything (several minutes)
 //	fmmbench -exp fig4 -scale 1.5 -trials 5 -workers 24 -small 6
+//	fmmbench -exp auto -quick -json BENCH_ci.json
 //
 // Problem sizes default to dimensions suited to the pure-Go gemm kernel
 // (absolute sizes are smaller than the paper's MKL-based runs; the shapes and
 // who-wins comparisons are what reproduce). -scale grows them toward
-// paper-scale.
+// paper-scale. -json additionally writes every measured point to a file, the
+// format CI archives as a perf-trajectory artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"fastmm/internal/bench"
@@ -27,29 +33,148 @@ import (
 	"fastmm/internal/mat"
 )
 
+// report is the -json output schema: enough machine context to compare
+// artifacts across CI runs, plus every point of every experiment.
+type report struct {
+	CreatedAt  time.Time          `json:"created_at"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Scale      float64            `json:"scale"`
+	Trials     int                `json:"trials"`
+	Quick      bool               `json:"quick"`
+	Runs       []experimentResult `json:"experiments"`
+}
+
+type experimentResult struct {
+	ID      string        `json:"id"`
+	Title   string        `json:"title"`
+	Seconds float64       `json:"seconds"`
+	Points  []bench.Point `json:"points"`
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment id (or 'all')")
+	exp := flag.String("exp", "", "experiment id(s), comma-separated, or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	trials := flag.Int("trials", 3, "timing trials per point (median is reported)")
 	scale := flag.Float64("scale", 1, "problem-size multiplier")
 	workers := flag.Int("workers", 0, "high worker count (default min(24, GOMAXPROCS))")
 	small := flag.Int("small", 0, "low worker count (default min(6, GOMAXPROCS))")
 	quick := flag.Bool("quick", false, "smoke-test sizes")
+	jsonPath := flag.String("json", "", "also write all measured points to this JSON file")
 	flag.Parse()
 
 	if *list || *exp == "" {
-		fmt.Println("experiments:")
-		for _, n := range bench.Names() {
-			e, _ := bench.Lookup(n)
-			fmt.Printf("  %-10s %s\n", n, e.Title)
-		}
+		listExperiments(os.Stdout)
 		if *exp == "" {
-			fmt.Println("\nrun with -exp <id> or -exp all")
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
 		}
 		return
 	}
 
-	// Install the generated-code series used by fig1.
+	ids, err := resolveIDs(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		listExperiments(os.Stderr)
+		os.Exit(2)
+	}
+
+	installGeneratedStrassen()
+
+	cfg := bench.Config{
+		Trials:       *trials,
+		Scale:        *scale,
+		Workers:      *workers,
+		SmallWorkers: *small,
+		Quick:        *quick,
+		Out:          os.Stdout,
+	}
+
+	rep := report{
+		CreatedAt:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Trials:     *trials,
+		Quick:      *quick,
+	}
+	start := time.Now()
+	for _, id := range ids {
+		e, err := bench.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err) // unreachable after resolveIDs; belt and braces
+			os.Exit(2)
+		}
+		expStart := time.Now()
+		pts, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		secs := time.Since(expStart)
+		fmt.Printf("  [%s took %v]\n", id, secs.Round(time.Millisecond))
+		rep.Runs = append(rep.Runs, experimentResult{
+			ID: id, Title: e.Title, Seconds: secs.Seconds(), Points: pts,
+		})
+	}
+	if len(ids) > 1 {
+		fmt.Printf("\n%d experiments completed in %v\n", len(ids), time.Since(start).Round(time.Second))
+	}
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// resolveIDs expands the -exp value into known experiment ids, rejecting
+// unknown ones with a non-zero exit so CI and scripts fail loudly.
+func resolveIDs(exp string) ([]string, error) {
+	if exp == "all" {
+		return bench.Names(), nil
+	}
+	var ids []string
+	for _, id := range strings.Split(exp, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if _, err := bench.Lookup(id); err != nil {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q", exp)
+	}
+	return ids, nil
+}
+
+func listExperiments(w *os.File) {
+	fmt.Fprintln(w, "experiments:")
+	for _, n := range bench.Names() {
+		e, _ := bench.Lookup(n)
+		fmt.Fprintf(w, "  %-10s %s\n", n, e.Title)
+	}
+}
+
+func writeReport(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// installGeneratedStrassen wires the generated-code series used by fig1,
+// keeping internal/bench decoupled from the codegen output.
+func installGeneratedStrassen() {
 	bench.SetGeneratedStrassen(func(cfg bench.Config, sizes []int) ([]bench.Point, error) {
 		var pts []bench.Point
 		for _, n := range sizes {
@@ -76,30 +201,4 @@ func main() {
 		}
 		return pts, nil
 	})
-
-	cfg := bench.Config{
-		Trials:       *trials,
-		Scale:        *scale,
-		Workers:      *workers,
-		SmallWorkers: *small,
-		Quick:        *quick,
-		Out:          os.Stdout,
-	}
-
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = bench.Names()
-	}
-	start := time.Now()
-	for _, id := range ids {
-		expStart := time.Now()
-		if _, err := bench.Run(id, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("  [%s took %v]\n", id, time.Since(expStart).Round(time.Millisecond))
-	}
-	if *exp == "all" {
-		fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Second))
-	}
 }

@@ -28,6 +28,12 @@
 //	})
 //	err = exec.Multiply(C, A, B)
 //
+// Or let the autotuner pick the algorithm, depth, scheduler, and addition
+// strategy for each shape (the paper's Figs. 4–6 show no single choice wins
+// everywhere):
+//
+//	err := fastmm.Auto(C, A, B, fastmm.AutoOptions{})
+//
 // An Executor owns reusable workspace arenas: every matrix temporary of
 // the recursion is carved from them, so steady-state Multiply calls on a
 // reused Executor are (amortized) allocation-free for sequential and
@@ -43,6 +49,8 @@ package fastmm
 import (
 	"fmt"
 	"math/rand"
+	"strings"
+	"sync"
 
 	"fastmm/internal/addchain"
 	"fastmm/internal/algo"
@@ -50,6 +58,7 @@ import (
 	"fastmm/internal/core"
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/tuner"
 )
 
 // Matrix is a dense row-major float64 matrix with cheap rectangular views.
@@ -145,6 +154,89 @@ func NewScheduleExecutor(names []string, opts Options) (*Executor, error) {
 		algs[i] = a
 	}
 	return core.NewSchedule(algs, opts)
+}
+
+// AutoOptions configures the autotuning dispatcher behind Auto and
+// NewAutoExecutor. The zero value is ready to use: GOMAXPROCS workers, no
+// workspace cap, quick auto-calibration on first use, top-4 empirical
+// probing, and the default on-disk tuning cache (JSON under
+// os.UserCacheDir()/fastmm, overridable via the FASTMM_TUNE_CACHE
+// environment variable; set it to "off" to disable the disk layer).
+type AutoOptions = tuner.Options
+
+// AutoPlan is one fully specified tuned configuration: algorithm, recursion
+// depth, scheduler, addition strategy, workers, and the predicted/measured
+// times behind the choice.
+type AutoPlan = tuner.Plan
+
+// AutoNoProbes, assigned to AutoOptions.ProbeTopK, makes the dispatcher
+// trust the calibrated cost model without timing any candidate empirically.
+const AutoNoProbes = tuner.NoProbes
+
+// AutoExecutor is a shape-aware autotuning dispatcher (the paper's missing
+// piece: Figs. 4–6 show no single algorithm/depth/scheduler wins everywhere).
+// Each multiplication shape is tuned on first touch — candidate plans are
+// ranked by the calibrated cost model, the leaders optionally probed — and
+// the winner is cached in memory and on disk, so repeated shapes dispatch in
+// O(1). It is safe for concurrent use.
+type AutoExecutor = tuner.Tuner
+
+// NewAutoExecutor builds an autotuning dispatcher. The first construction
+// per process may run a quick machine calibration (~100ms) unless a
+// persisted calibration exists or AutoOptions.Profile supplies one.
+func NewAutoExecutor(opts AutoOptions) (*AutoExecutor, error) { return tuner.New(opts) }
+
+// Auto computes C = A·B with an automatically chosen (algorithm, steps,
+// scheduler, strategy) plan for the operands' shape. Dispatchers are shared
+// process-wide per distinct AutoOptions, so repeated calls with the same
+// options hit the warm path. Each call re-derives the option-set key
+// (microseconds, not a re-tune); the hottest paths should hold their own
+// dispatcher from NewAutoExecutor instead.
+func Auto(C, A, B *Matrix, opts AutoOptions) error {
+	t, err := sharedAuto(opts)
+	if err != nil {
+		return err
+	}
+	return t.Multiply(C, A, B)
+}
+
+// AutoPlanFor reports the plan Auto would use for a shape (tuning it on
+// first touch), without multiplying.
+func AutoPlanFor(m, k, n int, opts AutoOptions) (AutoPlan, error) {
+	t, err := sharedAuto(opts)
+	if err != nil {
+		return AutoPlan{}, err
+	}
+	return t.PlanFor(m, k, n)
+}
+
+var (
+	autoMu    sync.Mutex
+	autoByOpt = map[string]*AutoExecutor{}
+)
+
+// sharedAuto returns the process-wide dispatcher for one option set. The
+// calibration profile enters the key by value (content hash), so callers
+// that construct an equal Profile per call still share one warm dispatcher.
+// The map holds one entry per genuinely distinct option set for the process
+// lifetime; own the dispatcher via NewAutoExecutor to control that.
+func sharedAuto(opts AutoOptions) (*AutoExecutor, error) {
+	norm := opts.Normalized() // zero value and spelled-out defaults share one dispatcher
+	key := fmt.Sprintf("w%d cap%d min%d s%d k%d t%d cse%t alg%s st%v disk%t prof%s",
+		norm.Workers, norm.Workspace, norm.MinDim, norm.MaxSteps, norm.ProbeTopK,
+		norm.ProbeTrials, norm.CSE, strings.Join(norm.Algorithms, ","), norm.Strategies,
+		norm.NoDiskCache, norm.Profile.Fingerprint())
+	autoMu.Lock()
+	defer autoMu.Unlock()
+	if t, ok := autoByOpt[key]; ok {
+		return t, nil
+	}
+	t, err := tuner.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	autoByOpt[key] = t
+	return t, nil
 }
 
 // Multiply computes C = A·B with the named fast algorithm.

@@ -9,6 +9,10 @@ import (
 	"fastmm/internal/core"
 )
 
+func init() {
+	registerExperiment("allocs", "workspace arenas: allocs/op and retained workspace per scheduler", runAllocs)
+}
+
 // runAllocs measures the workspace-arena payoff: allocations per Multiply
 // and effective GFLOPS for a reused Executor under each scheduler, plus the
 // executor's retained-workspace and Table-3-style predicted footprint. This

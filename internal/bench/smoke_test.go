@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// Smoke benchmarks: tiny-size runs of the experiments CI tracks on every
+// push (`go test -run=NONE -bench Smoke -benchtime=1x ./internal/bench/`).
+// They exist so the perf trajectory accumulates in CI artifacts — absolute
+// numbers on shared runners are noisy, but the allocs/op counters and the
+// auto-vs-best-fixed ratios are stable signals.
+
+func runSmoke(b *testing.B, id string) {
+	b.Helper()
+	cfg := Config{Trials: 1, Quick: true, Workers: 4, SmallWorkers: 2, Out: io.Discard}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSmokeAllocs(b *testing.B) { runSmoke(b, "allocs") }
+func BenchmarkSmokeAuto(b *testing.B)   { runSmoke(b, "auto") }
+func BenchmarkSmokeFig4(b *testing.B)   { runSmoke(b, "fig4") }
+func BenchmarkSmokeFig5(b *testing.B)   { runSmoke(b, "fig5") }

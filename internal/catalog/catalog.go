@@ -29,10 +29,11 @@ type Entry struct {
 }
 
 var (
-	mu      sync.Mutex
-	cache   = map[string]*algo.Algorithm{}
-	entries = map[string]Entry{}
-	order   []string
+	mu           sync.Mutex
+	cache        = map[string]*algo.Algorithm{}
+	verifyResult = map[string]error{}
+	entries      = map[string]Entry{}
+	order        []string
 )
 
 func register(name string, paperRank int, build func() *algo.Algorithm) {
@@ -62,6 +63,31 @@ func Get(name string) (*algo.Algorithm, error) {
 	mu.Lock()
 	cache[name] = a
 	mu.Unlock()
+	return a, nil
+}
+
+// GetVerified returns the named algorithm after checking it is an exact
+// decomposition of its base-case tensor — but runs that check at most once
+// per entry for the life of the process. Callers that build many executors
+// from the same entry (the autotuner probes dozens per shape) pair this with
+// core.NewTrusted so the tensor check is paid once, not per candidate.
+func GetVerified(name string) (*algo.Algorithm, error) {
+	a, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	err, done := verifyResult[name]
+	mu.Unlock()
+	if !done {
+		err = a.Verify()
+		mu.Lock()
+		verifyResult[name] = err
+		mu.Unlock()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %q failed verification: %w", name, err)
+	}
 	return a, nil
 }
 

@@ -162,3 +162,22 @@ func TestExponents(t *testing.T) {
 		t.Fatalf("fast336 exponent %v", e)
 	}
 }
+
+// GetVerified must verify exactly once per entry and then serve the cached
+// result; failures must be reported, not cached as success.
+func TestGetVerified(t *testing.T) {
+	a1, err := GetVerified("strassen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := GetVerified("strassen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("GetVerified must return the cached algorithm instance")
+	}
+	if _, err := GetVerified("no-such-algorithm"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}

@@ -174,10 +174,30 @@ func New(a *algo.Algorithm, opts Options) (*Executor, error) {
 	return NewSchedule([]*algo.Algorithm{a}, opts)
 }
 
+// NewTrusted builds an executor without re-verifying the algorithm against
+// its tensor. It exists for callers — the autotuner above all — that build
+// many executors per shape from algorithms the catalog has already verified
+// once; repeating the O(m²k²n²) tensor check per candidate would dominate
+// the tuning time. Passing an unverified algorithm silently computes the
+// wrong product; use New unless the source is trusted.
+func NewTrusted(a *algo.Algorithm, opts Options) (*Executor, error) {
+	return NewScheduleTrusted([]*algo.Algorithm{a}, opts)
+}
+
 // NewSchedule builds an executor that cycles through the given algorithms by
 // recursion level — level ℓ uses algs[ℓ mod len(algs)]. This is how the
 // paper's ⟨54,54,54⟩ algorithm composes ⟨3,3,6⟩∘⟨3,6,3⟩∘⟨6,3,3⟩ (§5.2).
 func NewSchedule(algs []*algo.Algorithm, opts Options) (*Executor, error) {
+	return newSchedule(algs, opts, true)
+}
+
+// NewScheduleTrusted is NewSchedule without per-algorithm verification; see
+// NewTrusted for the contract.
+func NewScheduleTrusted(algs []*algo.Algorithm, opts Options) (*Executor, error) {
+	return newSchedule(algs, opts, false)
+}
+
+func newSchedule(algs []*algo.Algorithm, opts Options, verify bool) (*Executor, error) {
 	if len(algs) == 0 {
 		return nil, fmt.Errorf("core: empty algorithm schedule")
 	}
@@ -188,8 +208,10 @@ func NewSchedule(algs []*algo.Algorithm, opts Options) (*Executor, error) {
 		if a == nil {
 			return nil, fmt.Errorf("core: nil algorithm in schedule")
 		}
-		if err := a.Verify(); err != nil {
-			return nil, fmt.Errorf("core: refusing invalid algorithm: %w", err)
+		if verify {
+			if err := a.Verify(); err != nil {
+				return nil, fmt.Errorf("core: refusing invalid algorithm: %w", err)
+			}
 		}
 		lp := levelPlan{
 			alg:   a,

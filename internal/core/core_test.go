@@ -361,3 +361,23 @@ func TestComposedStepEqualsTwoSteps(t *testing.T) {
 		t.Fatal("strassen∘strassen must have rank 49")
 	}
 }
+
+// NewTrusted must produce the same results as New while skipping the
+// per-construction tensor verification (it accepts what New would reject).
+func TestNewTrusted(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	e, err := NewTrusted(catalog.Strassen(), Options{Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, e, 64, 64, 64, rng)
+
+	bogus := catalog.Strassen().Clone()
+	bogus.U.Set(0, 0, 42) // no longer a decomposition of the tensor
+	if _, err := New(bogus, Options{}); err == nil {
+		t.Fatal("New must reject an invalid algorithm")
+	}
+	if _, err := NewTrusted(bogus, Options{}); err != nil {
+		t.Fatalf("NewTrusted must accept without verifying: %v", err)
+	}
+}

@@ -56,6 +56,14 @@ func New(a *algo.Algorithm, strat addchain.Strategy, cse bool) (*Model, error) {
 	if err := a.Verify(); err != nil {
 		return nil, fmt.Errorf("costmodel: %w", err)
 	}
+	return NewTrusted(a, strat, cse), nil
+}
+
+// NewTrusted builds a cost model without re-verifying the algorithm. The
+// tuner evaluates hundreds of candidate models per shape against algorithms
+// the catalog has already verified once; repeating the tensor check per model
+// would dominate the ranking time.
+func NewTrusted(a *algo.Algorithm, strat addchain.Strategy, cse bool) *Model {
 	m := &Model{
 		alg:   a,
 		strat: strat,
@@ -71,7 +79,7 @@ func New(a *algo.Algorithm, strat addchain.Strategy, cse bool) (*Model, error) {
 	m.sCosts = m.splan.Cost(strat)
 	m.tCosts = m.tplan.Cost(strat)
 	m.cCosts = m.cplan.Cost(strat)
-	return m, nil
+	return m
 }
 
 // Evaluate computes the cost of multiplying P×Q by Q×R with the given number

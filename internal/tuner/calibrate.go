@@ -1,0 +1,128 @@
+package tuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"fastmm/internal/costmodel"
+	"fastmm/internal/gemm"
+	"fastmm/internal/mat"
+	"fastmm/internal/stream"
+)
+
+// ProfileVersion invalidates persisted calibrations (and tuning-cache keys)
+// when the measurement protocol or the time model changes shape.
+const ProfileVersion = 1
+
+// Profile is a one-time machine calibration: the measured gemm throughput
+// curve and addition bandwidth that parameterize the cost model's time
+// predictions (costmodel.Machine), plus enough metadata to judge staleness.
+// It is persisted as JSON in the tuning cache directory (see Paths).
+type Profile struct {
+	Version    int               `json:"version"`
+	CreatedAt  time.Time         `json:"created_at"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Quick      bool              `json:"quick,omitempty"` // measured with the abbreviated protocol
+	Machine    costmodel.Machine `json:"machine"`
+}
+
+// Valid reports whether the profile can parameterize predictions on this
+// process (version match and calibrated rates present).
+func (p *Profile) Valid() bool {
+	return p != nil && p.Version == ProfileVersion && p.Machine.Valid()
+}
+
+// Fingerprint identifies a profile by the fields predictions depend on —
+// the version and the measured machine rates. Metadata (CreatedAt,
+// GOMAXPROCS, Quick) is deliberately excluded so two equal calibrations
+// loaded or constructed separately fingerprint identically. The tuning-cache
+// key includes it, so recalibrating retires every persisted plan.
+func (p *Profile) Fingerprint() string {
+	if p == nil {
+		return "nil"
+	}
+	data, err := json.Marshal(struct {
+		V int
+		M costmodel.Machine
+	}{p.Version, p.Machine})
+	if err != nil {
+		return "unhashable" // unreachable for the plain-data Machine
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Calibrate measures the machine: classical-gemm GFLOPS at a few square
+// block sizes (sequentially and at the given worker count — the two
+// endpoints the time model interpolates between) and the STREAM-add
+// bandwidth the matrix additions run at. quick shrinks the protocol to
+// smoke-test cost (~100ms) for first-use auto-calibration and tests; the
+// full protocol is what cmd/fmmtune calibrate runs.
+func Calibrate(workers int, quick bool) *Profile {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sizes := []int{96, 192, 384, 640}
+	trials := 2
+	streamN := 1 << 23
+	if quick {
+		sizes = []int{64, 128, 256}
+		trials = 1
+		streamN = 1 << 20
+	}
+
+	ma := costmodel.Machine{Workers: workers}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range sizes {
+		A, B, C := mat.New(n, n), mat.New(n, n), mat.New(n, n)
+		A.FillRandom(rng)
+		B.FillRandom(rng)
+		flops := 2*float64(n)*float64(n)*float64(n) - float64(n)*float64(n)
+		seq := bestTime(trials, func() { gemm.Mul(C, A, B) })
+		par := seq
+		if workers > 1 {
+			par = bestTime(trials, func() { gemm.MulParallel(C, 1, A, B, workers) })
+		}
+		ma.Gemm = append(ma.Gemm, costmodel.GemmSample{
+			N:         n,
+			SeqGFLOPS: flops / seq / 1e9,
+			ParGFLOPS: flops / par / 1e9,
+		})
+	}
+
+	ma.AddSeqGBps = stream.Run(stream.Add, streamN, 1, trials).GBps
+	ma.AddParGBps = ma.AddSeqGBps
+	if workers > 1 {
+		ma.AddParGBps = stream.Run(stream.Add, streamN, workers, trials).GBps
+	}
+
+	return &Profile{
+		Version:    ProfileVersion,
+		CreatedAt:  time.Now().UTC(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Machine:    ma,
+	}
+}
+
+// bestTime returns the fastest of trials timings of f, in seconds — the
+// paper's protocol for microbenchmarks, robust to scheduling noise.
+func bestTime(trials int, f func()) float64 {
+	if trials < 1 {
+		trials = 1
+	}
+	ts := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		f()
+		ts = append(ts, time.Since(start).Seconds())
+	}
+	sort.Float64s(ts)
+	return ts[0]
+}

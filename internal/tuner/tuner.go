@@ -1,0 +1,662 @@
+// Package tuner is the shape-aware autotuning dispatcher: given a problem
+// shape ⟨m,k,n⟩ and a worker count it picks the (algorithm, recursion depth,
+// scheduler, addition strategy) combination predicted — and optionally
+// measured — to be fastest on this machine. It operationalizes the paper's
+// central empirical claim that no single fast algorithm wins everywhere
+// (Figs. 4–6): the best choice depends on the shape, the core count, and the
+// memory budget.
+//
+// The pipeline per shape:
+//
+//  1. enumerate candidate plans — every catalog algorithm × steps ×
+//     scheduler × addition strategy, plus the classical gemm baseline;
+//  2. prune and rank them with the analytic cost recurrences of
+//     internal/costmodel, turned into predicted seconds by a one-time
+//     machine calibration (measured gemm GFLOPS at a few block sizes and
+//     the measured STREAM-add bandwidth);
+//  3. optionally refine the top-K survivors with short empirical probes;
+//  4. persist the winner in an on-disk tuning cache (JSON under
+//     os.UserCacheDir, overridable via FASTMM_TUNE_CACHE) fronted by an
+//     in-memory LRU, so repeated shapes dispatch in O(1).
+//
+// fastmm.Auto and fastmm.NewAutoExecutor are the public surface;
+// cmd/fmmtune pre-warms, inspects, and clears the caches.
+package tuner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"fastmm/internal/addchain"
+	"fastmm/internal/algo"
+	"fastmm/internal/catalog"
+	"fastmm/internal/core"
+	"fastmm/internal/costmodel"
+	"fastmm/internal/gemm"
+	"fastmm/internal/mat"
+)
+
+const (
+	// DefaultProbeTopK is how many model-ranked survivors get empirical
+	// probes when Options.ProbeTopK is zero.
+	DefaultProbeTopK = 4
+	// NoProbes disables empirical probing: decisions come from the model
+	// ranking (and the cache) alone.
+	NoProbes = -1
+	// DefaultMinDim mirrors core.Options.MinDim: shapes whose largest
+	// dimension is below it go straight to classical gemm (§3.4's cutoff).
+	DefaultMinDim = 128
+	// DefaultMaxSteps bounds the recursion depths enumerated; the paper
+	// never profits from more than three steps at practical sizes.
+	DefaultMaxSteps = 3
+
+	lruSize = 128
+)
+
+// ClassicalAlgorithm is the Plan.Algorithm value for the gemm baseline.
+const ClassicalAlgorithm = "classical"
+
+// Options configures a Tuner. The zero value is ready to use: GOMAXPROCS
+// workers, no workspace cap, quick auto-calibration on first use, top-4
+// probing, and the default disk cache location.
+type Options struct {
+	// Workers bounds the goroutines a chosen plan may use (default
+	// GOMAXPROCS).
+	Workers int
+	// Workspace, when positive, caps the workspace (bytes) a chosen plan
+	// may claim: candidates whose predicted footprint exceeds it are never
+	// selected, and the cap is threaded through to the built executor,
+	// which additionally degrades BFS/HYBRID to DFS at run time. A cap
+	// below even the classical kernel's packing slabs still selects
+	// (sequential) classical gemm — multiplication must remain possible.
+	Workspace int64
+	// MinDim is the recursion cutoff (default 128): shapes with
+	// max(m,k,n) < MinDim dispatch to classical gemm without ranking.
+	MinDim int
+	// MaxSteps bounds the recursion depths considered (default 3).
+	MaxSteps int
+	// ProbeTopK is how many top-ranked candidates to time empirically
+	// before committing (0 → DefaultProbeTopK, NoProbes → model only).
+	ProbeTopK int
+	// ProbeTrials is the timing trials per probe (default 1; the probe
+	// reports the fastest).
+	ProbeTrials int
+	// Algorithms restricts the candidate catalog entries (default: the
+	// whole catalog minus the classical decompositions, which the direct
+	// gemm baseline already covers).
+	Algorithms []string
+	// Strategies restricts the addition strategies considered (default
+	// write-once and streaming — §3.2's two winners).
+	Strategies []addchain.Strategy
+	// CSE applies common-subexpression elimination to candidate plans.
+	CSE bool
+	// Profile supplies a calibration instead of loading or measuring one
+	// (tests and reproducible benchmarks).
+	Profile *Profile
+	// NoDiskCache keeps the tuner purely in-memory: nothing is read from
+	// or written to the cache directory.
+	NoDiskCache bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MinDim <= 0 {
+		o.MinDim = DefaultMinDim
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = DefaultMaxSteps
+	}
+	if o.ProbeTopK == 0 {
+		o.ProbeTopK = DefaultProbeTopK
+	}
+	if o.ProbeTrials <= 0 {
+		o.ProbeTrials = 1
+	}
+	if len(o.Algorithms) == 0 {
+		for _, name := range catalog.Names() {
+			if !strings.HasPrefix(name, "classical") {
+				o.Algorithms = append(o.Algorithms, name)
+			}
+		}
+	}
+	if len(o.Strategies) == 0 {
+		o.Strategies = []addchain.Strategy{addchain.WriteOnce, addchain.Streaming}
+	}
+	return o
+}
+
+// Normalized returns the options with all defaults resolved — the form in
+// which two option sets behave identically iff they are equal. fastmm's
+// shared-dispatcher map keys on it so spelled-out defaults and the zero
+// value land on the same tuner.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
+// Plan is one fully specified way to run a multiplication — the unit the
+// tuner ranks, probes, caches, and reports.
+type Plan struct {
+	// Algorithm is a catalog name, or ClassicalAlgorithm for direct gemm.
+	Algorithm string `json:"algorithm"`
+	// Steps is the recursion depth (0 for classical).
+	Steps int `json:"steps,omitempty"`
+	// Parallel and Strategy are the scheduler and addition strategy, by
+	// their String() names (human-readable in the JSON cache).
+	Parallel string `json:"parallel"`
+	Strategy string `json:"strategy,omitempty"`
+	CSE      bool   `json:"cse,omitempty"`
+	Workers  int    `json:"workers"`
+	// WorkspaceBytes is the plan's predicted peak workspace: the built
+	// executor's Table-3 model for fast plans, the gemm packing slabs for
+	// classical.
+	WorkspaceBytes int64 `json:"workspace_bytes"`
+	// PredictedSeconds is the cost model's estimate; MeasuredSeconds the
+	// probe result (0 when the plan was not probed).
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	MeasuredSeconds  float64 `json:"measured_seconds,omitempty"`
+}
+
+// IsClassical reports whether the plan is the direct-gemm baseline.
+func (p Plan) IsClassical() bool { return p.Algorithm == ClassicalAlgorithm }
+
+func (p Plan) String() string {
+	if p.IsClassical() {
+		return fmt.Sprintf("classical/%dw", p.Workers)
+	}
+	return fmt.Sprintf("%s/s%d/%s/%s/%dw", p.Algorithm, p.Steps, p.Parallel, p.Strategy, p.Workers)
+}
+
+// decision is a plan bound to its runnable executor.
+type decision struct {
+	plan Plan
+	exec *core.Executor // nil for classical
+}
+
+func (d *decision) multiply(C, A, B *mat.Dense) error {
+	if d.exec != nil {
+		return d.exec.Multiply(C, A, B)
+	}
+	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
+		return fmt.Errorf("tuner: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
+			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
+	}
+	if d.plan.Workers > 1 {
+		gemm.MulParallel(C, 1, A, B, d.plan.Workers)
+	} else {
+		gemm.Mul(C, A, B)
+	}
+	return nil
+}
+
+// Tuner dispatches multiplications to autotuned plans. It is safe for
+// concurrent use; concurrent first-touches of the same shape may tune twice
+// (benign — the same winner lands in the cache).
+type Tuner struct {
+	opts      Options
+	prof      *Profile
+	keySuffix string // options part of the cache key, precomputed in New
+
+	mu   sync.Mutex
+	lru  *lru
+	disk map[string]Plan
+	// diskMu serializes persistence: the snapshot of t.disk and its write
+	// to the cache file happen under one lock, so a goroutine holding an
+	// older snapshot can never overwrite a newer file (in-process; across
+	// processes the atomic rename makes races lose entries, not integrity).
+	diskMu sync.Mutex
+
+	modelMu sync.Mutex
+	models  map[modelKey]*costmodel.Model
+}
+
+type modelKey struct {
+	name  string
+	strat addchain.Strategy
+	cse   bool
+}
+
+// New builds a tuner. Calibration resolution order: Options.Profile, the
+// persisted profile, a fresh quick calibration (persisted best-effort).
+func New(opts Options) (*Tuner, error) {
+	opts = opts.withDefaults()
+	t := &Tuner{
+		opts:   opts,
+		lru:    newLRU(lruSize),
+		disk:   map[string]Plan{},
+		models: map[modelKey]*costmodel.Model{},
+	}
+	switch {
+	case opts.Profile != nil:
+		if !opts.Profile.Valid() {
+			return nil, fmt.Errorf("tuner: supplied calibration profile is invalid")
+		}
+		t.prof = opts.Profile
+	case opts.NoDiskCache:
+		t.prof = Calibrate(opts.Workers, true)
+	default:
+		// A persisted profile calibrated at fewer workers than requested
+		// cannot predict this tuner's parallel candidates (GemmRate clamps
+		// at the calibrated count) — recalibrate, but never clobber a
+		// deliberate full-protocol calibration with the quick one; the user
+		// re-runs `fmmtune calibrate -workers N` for that.
+		p, ok := LoadProfile()
+		if ok && p.Machine.Workers >= opts.Workers {
+			t.prof = p
+		} else {
+			t.prof = Calibrate(opts.Workers, true)
+			if !ok || p.Quick {
+				_ = SaveProfile(t.prof) // best-effort: read-only homes are fine
+			}
+		}
+	}
+	t.keySuffix = t.makeKeySuffix()
+	if !opts.NoDiskCache {
+		t.disk = loadEntries()
+	}
+	return t, nil
+}
+
+// Calibration returns the machine profile the tuner predicts with.
+func (t *Tuner) Calibration() *Profile { return t.prof }
+
+// Multiply computes C = A·B with the tuned plan for the operands' shape —
+// tuning it first if this is the shape's first touch. C must not alias A/B.
+func (t *Tuner) Multiply(C, A, B *mat.Dense) error {
+	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
+		return fmt.Errorf("tuner: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
+			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
+	}
+	d, err := t.decide(A.Rows(), A.Cols(), B.Cols())
+	if err != nil {
+		return err
+	}
+	return d.multiply(C, A, B)
+}
+
+// PlanFor returns the tuned plan for a shape, tuning on first touch.
+func (t *Tuner) PlanFor(m, k, n int) (Plan, error) {
+	d, err := t.decide(m, k, n)
+	if err != nil {
+		return Plan{}, err
+	}
+	return d.plan, nil
+}
+
+// Warm pre-tunes a shape (probes included) so later Multiply calls dispatch
+// from the cache. cmd/fmmtune uses it to pre-warm the disk cache.
+func (t *Tuner) Warm(m, k, n int) (Plan, error) { return t.PlanFor(m, k, n) }
+
+// key identifies a tuning decision: the shape plus every option that changes
+// the answer. Only the shape varies per call; the options part is
+// precomputed once in New so the warm dispatch path formats one string.
+func (t *Tuner) key(m, k, n int) string {
+	return fmt.Sprintf("v%d/%dx%dx%d/%s", ProfileVersion, m, k, n, t.keySuffix)
+}
+
+// makeKeySuffix encodes every option that changes a tuning answer. The
+// candidate set (algorithms × strategies) enters as a hash so differently
+// restricted tuners never share entries; ProfileVersion (in key) retires
+// cached plans when the model changes.
+func (t *Tuner) makeKeySuffix() string {
+	h := fnv.New64a()
+	for _, name := range t.opts.Algorithms {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	for _, s := range t.opts.Strategies {
+		fmt.Fprintf(h, "%d,", int(s))
+	}
+	return fmt.Sprintf("w%d/cap%d/min%d/s%d/k%d/t%d/cse%t/c%016x/p%s",
+		t.opts.Workers, t.opts.Workspace,
+		t.opts.MinDim, t.opts.MaxSteps, t.opts.ProbeTopK, t.opts.ProbeTrials,
+		t.opts.CSE, h.Sum64(), t.prof.Fingerprint())
+}
+
+func (t *Tuner) decide(m, k, n int) (*decision, error) {
+	key := t.key(m, k, n)
+	t.mu.Lock()
+	if d, ok := t.lru.get(key); ok {
+		t.mu.Unlock()
+		return d, nil
+	}
+	cached, onDisk := t.disk[key]
+	t.mu.Unlock()
+
+	if onDisk {
+		if d, err := t.build(cached); err == nil {
+			t.remember(key, d, false)
+			return d, nil
+		}
+		// A cache entry naming an unknown algorithm (edited file, older
+		// catalog) falls through to a fresh ranking.
+	}
+
+	ranked, err := t.Rank(m, k, n)
+	if err != nil {
+		return nil, err
+	}
+	d, err := t.pick(ranked, m, k, n)
+	if err != nil {
+		return nil, err
+	}
+	t.remember(key, d, true)
+	return d, nil
+}
+
+// remember installs a decision in the LRU and, when persist is set, appends
+// it to the disk cache (best-effort).
+func (t *Tuner) remember(key string, d *decision, persist bool) {
+	t.mu.Lock()
+	t.lru.add(key, d)
+	t.mu.Unlock()
+	if !persist || t.opts.NoDiskCache {
+		return
+	}
+	t.diskMu.Lock()
+	defer t.diskMu.Unlock()
+	t.mu.Lock()
+	t.disk[key] = d.plan
+	snapshot := make(map[string]Plan, len(t.disk))
+	for k, v := range t.disk {
+		snapshot[k] = v
+	}
+	t.mu.Unlock()
+	_ = saveEntries(snapshot)
+}
+
+// Rank enumerates the candidate plans for a shape and sorts them by
+// predicted time (fastest first), workspace-cap survivors only. The
+// classical baseline is always present, so the result is never empty.
+func (t *Tuner) Rank(m, k, n int) ([]Plan, error) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("tuner: invalid shape %d×%d×%d", m, k, n)
+	}
+	ma := t.prof.Machine
+	plans := []Plan{t.classicalPlan(m, k, n)}
+
+	// Below the recursion cutoff no fast algorithm is worth its additions;
+	// guarantee classical rather than trusting the model at sizes the
+	// calibration barely covers.
+	if maxInt3(m, k, n) >= t.opts.MinDim {
+		for _, name := range t.opts.Algorithms {
+			a, err := catalog.GetVerified(name)
+			if err != nil {
+				continue // unknown or unverifiable entries never panic the tuner
+			}
+			plans = append(plans, t.algorithmPlans(a, m, k, n, ma)...)
+		}
+	}
+
+	sort.SliceStable(plans, func(i, j int) bool {
+		return plans[i].PredictedSeconds < plans[j].PredictedSeconds
+	})
+	return plans, nil
+}
+
+func (t *Tuner) classicalPlan(m, k, n int) Plan {
+	workers := t.opts.Workers
+	slab := int64(8 * gemm.PackFloatsPerWorker)
+	if cap := t.opts.Workspace; cap > 0 && int64(workers)*slab > cap {
+		// Degrade parallelism until the packing slabs fit; one worker's
+		// slab is the floor below which gemm cannot go.
+		workers = int(cap / slab)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	parallel := "sequential"
+	if workers > 1 {
+		parallel = "parallel" // direct gemm slab parallelism, not a scheduler
+	}
+	return Plan{
+		Algorithm:        ClassicalAlgorithm,
+		Parallel:         parallel,
+		Workers:          workers,
+		WorkspaceBytes:   int64(workers) * slab,
+		PredictedSeconds: t.prof.Machine.ClassicalTime(m, k, n, workers),
+	}
+}
+
+// schedCand pairs a scheduler with the worker deployment the time model
+// sees: DFS parallelizes leaves, BFS fans out tasks, HYBRID fans out with
+// its balanced two-phase split (§4).
+type schedCand struct {
+	par core.Parallel
+	ex  costmodel.ExecShape
+}
+
+func (t *Tuner) schedules() []schedCand {
+	w := t.opts.Workers
+	if w <= 1 {
+		return []schedCand{{core.Sequential, costmodel.ExecShape{LeafWorkers: 1, TaskWorkers: 1}}}
+	}
+	return []schedCand{
+		{core.DFS, costmodel.ExecShape{LeafWorkers: w, TaskWorkers: 1}},
+		{core.BFS, costmodel.ExecShape{LeafWorkers: 1, TaskWorkers: w}},
+		{core.Hybrid, costmodel.ExecShape{LeafWorkers: 1, TaskWorkers: w, Balanced: true}},
+	}
+}
+
+// algorithmPlans enumerates the viable (steps, scheduler, strategy) plans of
+// one algorithm on one shape, with predicted times and model workspaces.
+// Shapes that don't divide the base case are handled the way the executor
+// does — the recursion runs on the largest divisible core and the model
+// charges the peeling borders as classical gemm work on top.
+func (t *Tuner) algorithmPlans(a *algo.Algorithm, m, k, n int, ma costmodel.Machine) []Plan {
+	var out []Plan
+	b := a.Base
+	workers := t.opts.Workers
+	for steps := 1; steps <= t.opts.MaxSteps; steps++ {
+		dM, dK, dN := ipow(b.M, steps), ipow(b.K, steps), ipow(b.N, steps)
+		if m < dM || k < dK || n < dN {
+			break // deeper recursion no longer fits one base-case block
+		}
+		cm, ck, cn := m-m%dM, k-k%dK, n-n%dN
+		fixup := ma.ClassicalTime(m, k, n, workers) - ma.ClassicalTime(cm, ck, cn, workers)
+		if fixup < 0 {
+			fixup = 0
+		}
+		for _, strat := range t.opts.Strategies {
+			model := t.model(a, strat)
+			cost, err := model.Evaluate(cm, ck, cn, steps)
+			if err != nil {
+				continue
+			}
+			for _, sc := range t.schedules() {
+				est, err := model.PredictTime(cm, ck, cn, steps, ma, sc.ex)
+				if err != nil {
+					continue
+				}
+				ws := modelWorkspaceBytes(cost, sc.par, workers)
+				if cap := t.opts.Workspace; cap > 0 && ws > cap {
+					continue
+				}
+				out = append(out, Plan{
+					Algorithm:        a.Name,
+					Steps:            steps,
+					Parallel:         sc.par.String(),
+					Strategy:         strat.String(),
+					CSE:              t.opts.CSE,
+					Workers:          planWorkers(sc.par, workers),
+					WorkspaceBytes:   ws,
+					PredictedSeconds: est.Seconds + fixup,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// modelWorkspaceBytes converts the cost model's float counts to the byte
+// footprint the ranking filters on, matching core's convention of charging
+// the gemm packing slabs per (parallel) worker.
+func modelWorkspaceBytes(c costmodel.Cost, par core.Parallel, workers int) int64 {
+	floats := c.Workspace
+	if par == core.BFS || par == core.Hybrid {
+		floats = c.WorkspaceBFS
+	}
+	packWorkers := 1
+	if par != core.Sequential {
+		packWorkers = workers
+	}
+	return 8 * (int64(floats) + int64(packWorkers)*gemm.PackFloatsPerWorker)
+}
+
+func planWorkers(par core.Parallel, workers int) int {
+	if par == core.Sequential {
+		return 1
+	}
+	return workers
+}
+
+// model returns the cached cost model for one (algorithm, strategy) pair.
+func (t *Tuner) model(a *algo.Algorithm, strat addchain.Strategy) *costmodel.Model {
+	key := modelKey{name: a.Name, strat: strat, cse: t.opts.CSE}
+	t.modelMu.Lock()
+	defer t.modelMu.Unlock()
+	if m, ok := t.models[key]; ok {
+		return m
+	}
+	m := costmodel.NewTrusted(a, strat, t.opts.CSE)
+	t.models[key] = m
+	return m
+}
+
+func ipow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+func maxInt3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// parseParallel inverts core.Parallel.String for cache entries.
+func parseParallel(s string) (core.Parallel, error) {
+	for _, p := range []core.Parallel{core.Sequential, core.DFS, core.BFS, core.Hybrid} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("tuner: unknown scheduler %q", s)
+}
+
+// parseStrategy inverts addchain.Strategy.String for cache entries.
+func parseStrategy(s string) (addchain.Strategy, error) {
+	for _, st := range []addchain.Strategy{addchain.Pairwise, addchain.WriteOnce, addchain.Streaming} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("tuner: unknown strategy %q", s)
+}
+
+// build turns a plan into a runnable decision. Fast plans get a trusted
+// executor (the catalog verified the algorithm once already); the workspace
+// cap is threaded through so the executor's run-time degradation also holds.
+func (t *Tuner) build(p Plan) (*decision, error) {
+	if p.IsClassical() {
+		return &decision{plan: p}, nil
+	}
+	a, err := catalog.GetVerified(p.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	par, err := parseParallel(p.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := parseStrategy(p.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := core.NewTrusted(a, core.Options{
+		Steps:     p.Steps,
+		MinDim:    t.opts.MinDim,
+		Strategy:  strat,
+		CSE:       p.CSE,
+		Parallel:  par,
+		Workers:   p.Workers,
+		Workspace: t.opts.Workspace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &decision{plan: p, exec: exec}, nil
+}
+
+// pick builds the winner from a ranked candidate list: the first candidate
+// whose built executor honors the workspace cap wins the model round, then
+// the configured number of probes decides among the leaders empirically.
+func (t *Tuner) pick(ranked []Plan, m, k, n int) (*decision, error) {
+	survivors := make([]*decision, 0, len(ranked))
+	for _, p := range ranked {
+		d, err := t.build(p)
+		if err != nil {
+			continue
+		}
+		if cap := t.opts.Workspace; cap > 0 && d.exec != nil {
+			// Re-check with the executor's exact Table-3 model (the
+			// ranking filtered on the cheaper analytic recurrence).
+			ws := d.exec.WorkspaceBytes(m, k, n)
+			if ws > cap {
+				continue
+			}
+			d.plan.WorkspaceBytes = ws
+		} else if d.exec != nil {
+			d.plan.WorkspaceBytes = d.exec.WorkspaceBytes(m, k, n)
+		}
+		survivors = append(survivors, d)
+		if t.opts.ProbeTopK == NoProbes || len(survivors) >= t.opts.ProbeTopK {
+			break
+		}
+	}
+	if len(survivors) == 0 {
+		// Nothing fits the cap: classical sequential always runs.
+		return t.build(t.classicalPlan(m, k, n))
+	}
+	if t.opts.ProbeTopK == NoProbes || len(survivors) == 1 {
+		return survivors[0], nil
+	}
+	return t.probe(survivors, m, k, n), nil
+}
+
+// probe times each surviving decision on deterministic random operands of
+// the real shape and returns the fastest. One short multiplication per
+// candidate: the probes exist to catch what the model misranks, and their
+// cost is amortized by the disk cache.
+func (t *Tuner) probe(survivors []*decision, m, k, n int) *decision {
+	rng := rand.New(rand.NewSource(int64(m)*1_000_003 + int64(k)*1_009 + int64(n)))
+	A, B, C := mat.New(m, k), mat.New(k, n), mat.New(m, n)
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+
+	var best *decision
+	for _, d := range survivors {
+		d := d
+		secs := bestTime(t.opts.ProbeTrials, func() {
+			if err := d.multiply(C, A, B); err != nil {
+				panic(err) // plans were built for these dims; unreachable
+			}
+		})
+		d.plan.MeasuredSeconds = secs
+		if best == nil || secs < best.plan.MeasuredSeconds {
+			best = d
+		}
+	}
+	return best
+}
