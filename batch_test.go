@@ -1,0 +1,195 @@
+// Tests for the public batched-dispatch surface: fastmm.NewBatcher,
+// MultiplyBatch, Batcher.Submit/Wait, and Batcher.Stream. Synthetic
+// calibration profiles keep them deterministic (see auto_test.go); every
+// option set carries NoDiskCache so no test touches the user's real cache.
+package fastmm_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fastmm"
+	"fastmm/internal/mat"
+)
+
+func batchTestOpts(workers int) fastmm.BatchOptions {
+	return fastmm.BatchOptions{
+		Workers: workers,
+		Tuning:  autoTestOpts(workers),
+	}
+}
+
+func TestMultiplyBatchMatchesClassical(t *testing.T) {
+	shapes := [][3]int{{128, 128, 128}, {257, 129, 191}, {96, 160, 64}, {300, 300, 300}}
+	var dsts, as, bs, wants []*fastmm.Matrix
+	for i, s := range shapes {
+		A := fastmm.RandomMatrix(s[0], s[1], int64(i))
+		B := fastmm.RandomMatrix(s[1], s[2], int64(i+20))
+		as = append(as, A)
+		bs = append(bs, B)
+		dsts = append(dsts, fastmm.NewMatrix(s[0], s[2]))
+		w := fastmm.NewMatrix(s[0], s[2])
+		fastmm.Classical(w, A, B)
+		wants = append(wants, w)
+	}
+	opts := batchTestOpts(2)
+	for call := 0; call < 2; call++ { // second call reuses the shared warm batcher
+		for _, d := range dsts {
+			d.Zero()
+		}
+		if err := fastmm.MultiplyBatch(dsts, as, bs, opts); err != nil {
+			t.Fatal(err)
+		}
+		for i := range shapes {
+			if d := mat.MaxAbsDiff(dsts[i], wants[i]); d > 1e-9*float64(shapes[i][1]+1) {
+				t.Fatalf("call %d item %d: max diff %g", call, i, d)
+			}
+		}
+	}
+	if err := fastmm.MultiplyBatch(dsts[:1], as, bs, opts); err == nil {
+		t.Fatal("mismatched lengths must fail")
+	}
+}
+
+// TestBatcherAllocsSteadyState enforces the batch acceptance bar: a warm
+// batcher's synchronous dispatch allocates at most 2 allocations per
+// multiplication (the executor's per-call context and nothing else).
+func TestBatcherAllocsSteadyState(t *testing.T) {
+	b, err := fastmm.NewBatcher(batchTestOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const n = 256
+	A := fastmm.RandomMatrix(n, n, 1)
+	B := fastmm.RandomMatrix(n, n, 2)
+	C := fastmm.NewMatrix(n, n)
+	for i := 0; i < 3; i++ { // tune the class and warm the arenas
+		if err := b.Multiply(C, A, B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := b.Multiply(C, A, B); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state batcher Multiply allocates %.1f/op, want ≤ 2", allocs)
+	}
+}
+
+// TestBatcherStreamPublic exercises the pipelined stream through the public
+// aliases.
+func TestBatcherStreamPublic(t *testing.T) {
+	b, err := fastmm.NewBatcher(batchTestOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var s *fastmm.BatchStream
+	s, err = b.Stream(96, 96, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := fastmm.RandomMatrix(96, 96, 3)
+	B := fastmm.RandomMatrix(96, 96, 4)
+	want := fastmm.NewMatrix(96, 96)
+	fastmm.Classical(want, A, B)
+	C := fastmm.NewMatrix(96, 96)
+	if err := s.Push(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(C, want); d > 1e-9*97 {
+		t.Fatalf("stream product: max diff %g", d)
+	}
+}
+
+// TestBatcherAndAutoHammer drives one shared AutoExecutor and one shared
+// Batcher from 8 goroutines with mixed shapes — the concurrency-hardening
+// scenario of the batched-dispatch issue. Run with -race in CI: it covers
+// the tuner's in-memory LRU, the batcher's warm pool and weighted semaphore,
+// and concurrent Submit/Wait.
+func TestBatcherAndAutoHammer(t *testing.T) {
+	auto, err := fastmm.NewAutoExecutor(autoTestOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fastmm.NewBatcher(batchTestOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	shapes := [][3]int{
+		{96, 96, 96}, {130, 70, 110}, {160, 160, 160}, {97, 131, 89},
+		{224, 96, 144}, {64, 200, 64},
+	}
+	const goroutines = 8
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				s := shapes[(g+i)%len(shapes)]
+				A := fastmm.NewMatrix(s[0], s[1])
+				B := fastmm.NewMatrix(s[1], s[2])
+				A.FillRandom(rng)
+				B.FillRandom(rng)
+				want := fastmm.NewMatrix(s[0], s[2])
+				fastmm.Classical(want, A, B)
+
+				C := fastmm.NewMatrix(s[0], s[2])
+				if err := auto.Multiply(C, A, B); err != nil {
+					errs <- err
+					return
+				}
+				if d := mat.MaxAbsDiff(C, want); d > 1e-9*float64(s[1]+1) {
+					t.Errorf("auto g%d i%d: max diff %g", g, i, d)
+				}
+
+				C2 := fastmm.NewMatrix(s[0], s[2])
+				if err := b.Multiply(C2, A, B); err != nil {
+					errs <- err
+					return
+				}
+				if d := mat.MaxAbsDiff(C2, want); d > 1e-9*float64(s[1]+1) {
+					t.Errorf("batch sync g%d i%d: max diff %g", g, i, d)
+				}
+
+				C3 := fastmm.NewMatrix(s[0], s[2])
+				tk, err := b.Submit(C3, A, B)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := tk.Wait(); err != nil {
+					errs <- err
+					return
+				}
+				if d := mat.MaxAbsDiff(C3, want); d > 1e-9*float64(s[1]+1) {
+					t.Errorf("batch async g%d i%d: max diff %g", g, i, d)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

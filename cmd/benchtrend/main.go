@@ -1,0 +1,174 @@
+// Command benchtrend compares two fmmbench -json reports — the BENCH_ci.json
+// artifacts CI archives on every push — and fails with GitHub warning
+// annotations when a tracked metric regresses beyond a threshold. It is the
+// trend half of the tuning-cache telemetry: the per-run artifacts already
+// accumulate; this turns consecutive pairs into a gate.
+//
+// Gating metrics are the ones that are stable on shared CI runners:
+//
+//   - auto experiment: the auto-vs-best-fixed time ratio per shape (how much
+//     the autotuner gives up against the best hand-picked configuration —
+//     a within-run ratio, robust to runner speed),
+//   - allocs experiment and the batcher series of the batch experiment:
+//     allocations per multiplication (exact counts, zero noise).
+//
+// Batcher-vs-auto throughput speedups and the total bench wall time are
+// reported as information but never gate (they depend on runner core count).
+//
+// Usage:
+//
+//	benchtrend -prev prev/BENCH_ci.json -cur BENCH_ci.json [-max-regress 0.15]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fastmm/internal/bench"
+)
+
+// report mirrors the fmmbench -json schema (the fields benchtrend reads).
+type report struct {
+	TotalSeconds float64 `json:"total_seconds"`
+	Runs         []struct {
+		ID      string        `json:"id"`
+		Seconds float64       `json:"seconds"`
+		Points  []bench.Point `json:"points"`
+	} `json:"experiments"`
+}
+
+// metric is one tracked value; gating metrics are always lower-is-better.
+type metric struct {
+	value    float64
+	absSlack float64 // ignore regressions smaller than this in absolute terms
+	gate     bool
+}
+
+func main() {
+	prevPath := flag.String("prev", "", "previous run's fmmbench -json report")
+	curPath := flag.String("cur", "", "current run's fmmbench -json report")
+	maxRegress := flag.Float64("max-regress", 0.15, "relative regression that fails the build")
+	flag.Parse()
+	if *prevPath == "" || *curPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtrend -prev <old.json> -cur <new.json> [-max-regress 0.15]")
+		os.Exit(2)
+	}
+	prev, err := load(*prevPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(2)
+	}
+	regressions := compare(os.Stdout, extract(prev), extract(cur), *maxRegress)
+	fmt.Printf("bench cost: %.1fs -> %.1fs\n", prev.TotalSeconds, cur.TotalSeconds)
+	if regressions > 0 {
+		fmt.Printf("::warning title=bench trend::%d metric(s) regressed by more than %.0f%% vs the previous run\n",
+			regressions, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("bench trend: no gating regressions")
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// extract derives the tracked metrics from a report.
+func extract(r report) map[string]metric {
+	out := map[string]metric{}
+	for _, run := range r.Runs {
+		switch run.ID {
+		case "auto":
+			// Points come in (auto, best-fixed, worst-fixed) triples per
+			// shape; key by the exact shape (X collides across families).
+			type shape struct{ p, q, r int }
+			autoSecs, bestSecs := map[shape]float64{}, map[shape]float64{}
+			for _, pt := range run.Points {
+				s := shape{pt.P, pt.Q, pt.R}
+				switch pt.Series {
+				case "auto":
+					autoSecs[s] = pt.Seconds
+				case "best-fixed":
+					bestSecs[s] = pt.Seconds
+				}
+			}
+			for s, a := range autoSecs {
+				if b := bestSecs[s]; a > 0 && b > 0 {
+					out[fmt.Sprintf("auto-vs-best %dx%dx%d", s.p, s.q, s.r)] =
+						metric{value: a / b, absSlack: 0.05, gate: true}
+				}
+			}
+		case "allocs":
+			for _, pt := range run.Points {
+				out[fmt.Sprintf("allocs/op %s", pt.Series)] =
+					metric{value: pt.Allocs, absSlack: 1, gate: true}
+			}
+		case "batch":
+			// One cell per (shape, batch size); series distinguish styles.
+			type cell struct{ p, q, r, x int }
+			bySeries := map[string]map[cell]bench.Point{}
+			for _, pt := range run.Points {
+				if bySeries[pt.Series] == nil {
+					bySeries[pt.Series] = map[cell]bench.Point{}
+				}
+				bySeries[pt.Series][cell{pt.P, pt.Q, pt.R, pt.X}] = pt
+			}
+			for c, pt := range bySeries["batcher"] {
+				out[fmt.Sprintf("batch allocs/op %dx%dx%d b%d", c.p, c.q, c.r, c.x)] =
+					metric{value: pt.Allocs, absSlack: 1, gate: true}
+				if a, ok := bySeries["auto-loop"][c]; ok && pt.Seconds > 0 {
+					out[fmt.Sprintf("batch speedup %dx%dx%d b%d", c.p, c.q, c.r, c.x)] =
+						metric{value: a.Seconds / pt.Seconds, gate: false}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// compare prints every shared metric and returns how many gating ones
+// regressed beyond maxRegress (relative) and their absolute slack.
+func compare(w *os.File, prev, cur map[string]metric, maxRegress float64) int {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	regressions := 0
+	for _, k := range keys {
+		c := cur[k]
+		p, ok := prev[k]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s %10.3f (new metric, no baseline)\n", k, c.value)
+			continue
+		}
+		status := "ok"
+		if c.gate && c.value > p.value*(1+maxRegress) && c.value-p.value > c.absSlack {
+			status = "REGRESSED"
+			regressions++
+			fmt.Fprintf(w, "::warning title=bench regression::%s: %.3f -> %.3f (>%.0f%% worse)\n",
+				k, p.value, c.value, maxRegress*100)
+		}
+		gate := "gate"
+		if !c.gate {
+			gate = "info"
+		}
+		fmt.Fprintf(w, "  %-40s %10.3f -> %-10.3f [%s] %s\n", k, p.value, c.value, gate, status)
+	}
+	return regressions
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"fastmm/internal/bench"
+)
+
+func testReport(autoSecs, allocs, batcherSecs float64) report {
+	var r report
+	r.TotalSeconds = 10
+	r.Runs = []struct {
+		ID      string        `json:"id"`
+		Seconds float64       `json:"seconds"`
+		Points  []bench.Point `json:"points"`
+	}{
+		{ID: "auto", Points: []bench.Point{
+			{Series: "auto", P: 384, Q: 384, R: 384, X: 384, Seconds: autoSecs},
+			{Series: "best-fixed", P: 384, Q: 384, R: 384, X: 384, Seconds: 1.0},
+			{Series: "worst-fixed", P: 384, Q: 384, R: 384, X: 384, Seconds: 3.0},
+		}},
+		{ID: "allocs", Points: []bench.Point{
+			{Series: "dfs", X: 512, Allocs: allocs},
+		}},
+		{ID: "batch", Points: []bench.Point{
+			{Series: "batcher", P: 384, Q: 384, R: 384, X: 64, Seconds: batcherSecs, Allocs: 3},
+			{Series: "auto-loop", P: 384, Q: 384, R: 384, X: 64, Seconds: 2.0},
+		}},
+	}
+	return r
+}
+
+func TestExtract(t *testing.T) {
+	m := extract(testReport(1.2, 1, 1.0))
+	if got := m["auto-vs-best 384x384x384"]; got.value != 1.2 || !got.gate {
+		t.Fatalf("auto-vs-best metric = %+v", got)
+	}
+	if got := m["allocs/op dfs"]; got.value != 1 || !got.gate {
+		t.Fatalf("allocs metric = %+v", got)
+	}
+	if got := m["batch speedup 384x384x384 b64"]; got.value != 2.0 || got.gate {
+		t.Fatalf("batch speedup must be informational: %+v", got)
+	}
+	if got := m["batch allocs/op 384x384x384 b64"]; got.value != 3 || !got.gate {
+		t.Fatalf("batch allocs metric = %+v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	prev := extract(testReport(1.0, 2, 1.0))
+	// Within threshold and slack: no regression.
+	if n := compare(devnull, prev, extract(testReport(1.04, 2, 1.5)), 0.15); n != 0 {
+		t.Fatalf("small drift flagged: %d", n)
+	}
+	// Ratio regresses 30% (> 15% and > absolute slack): one regression.
+	if n := compare(devnull, prev, extract(testReport(1.3, 2, 1.0)), 0.15); n != 1 {
+		t.Fatalf("ratio regression not flagged: %d", n)
+	}
+	// Allocs jump from 2 to 9: one regression (slack is 1 alloc).
+	if n := compare(devnull, prev, extract(testReport(1.0, 9, 1.0)), 0.15); n != 1 {
+		t.Fatalf("allocs regression not flagged: %d", n)
+	}
+	// Allocs 2 -> 3 is inside the ±1 absolute slack even though it is +50%.
+	if n := compare(devnull, prev, extract(testReport(1.0, 3, 1.0)), 0.15); n != 0 {
+		t.Fatalf("one-alloc jitter flagged: %d", n)
+	}
+	// Batcher speedup halves: informational, never gates.
+	if n := compare(devnull, prev, extract(testReport(1.0, 2, 4.0)), 0.15); n != 0 {
+		t.Fatalf("informational speedup gated: %d", n)
+	}
+	// A missing baseline is skipped, not a failure.
+	if n := compare(devnull, map[string]metric{}, extract(testReport(1.0, 2, 1.0)), 0.15); n != 0 {
+		t.Fatalf("missing baseline flagged: %d", n)
+	}
+}

@@ -36,15 +36,19 @@ import (
 // report is the -json output schema: enough machine context to compare
 // artifacts across CI runs, plus every point of every experiment.
 type report struct {
-	CreatedAt  time.Time          `json:"created_at"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Scale      float64            `json:"scale"`
-	Trials     int                `json:"trials"`
-	Quick      bool               `json:"quick"`
-	Runs       []experimentResult `json:"experiments"`
+	CreatedAt  time.Time `json:"created_at"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Scale      float64   `json:"scale"`
+	Trials     int       `json:"trials"`
+	Quick      bool      `json:"quick"`
+	// TotalSeconds is the wall time of the whole invocation — what the CI
+	// bench-trend job tracks as "bench cost" (per-experiment elapsed time is
+	// each experiment's "seconds" field).
+	TotalSeconds float64            `json:"total_seconds"`
+	Runs         []experimentResult `json:"experiments"`
 }
 
 type experimentResult struct {
@@ -120,6 +124,7 @@ func main() {
 			ID: id, Title: e.Title, Seconds: secs.Seconds(), Points: pts,
 		})
 	}
+	rep.TotalSeconds = time.Since(start).Seconds()
 	if len(ids) > 1 {
 		fmt.Printf("\n%d experiments completed in %v\n", len(ids), time.Since(start).Round(time.Second))
 	}

@@ -54,6 +54,7 @@ import (
 
 	"fastmm/internal/addchain"
 	"fastmm/internal/algo"
+	"fastmm/internal/batch"
 	"fastmm/internal/catalog"
 	"fastmm/internal/core"
 	"fastmm/internal/gemm"
@@ -222,10 +223,7 @@ var (
 // lifetime; own the dispatcher via NewAutoExecutor to control that.
 func sharedAuto(opts AutoOptions) (*AutoExecutor, error) {
 	norm := opts.Normalized() // zero value and spelled-out defaults share one dispatcher
-	key := fmt.Sprintf("w%d cap%d min%d s%d k%d t%d cse%t alg%s st%v disk%t prof%s",
-		norm.Workers, norm.Workspace, norm.MinDim, norm.MaxSteps, norm.ProbeTopK,
-		norm.ProbeTrials, norm.CSE, strings.Join(norm.Algorithms, ","), norm.Strategies,
-		norm.NoDiskCache, norm.Profile.Fingerprint())
+	key := autoOptionsKey(norm)
 	autoMu.Lock()
 	defer autoMu.Unlock()
 	if t, ok := autoByOpt[key]; ok {
@@ -237,6 +235,90 @@ func sharedAuto(opts AutoOptions) (*AutoExecutor, error) {
 	}
 	autoByOpt[key] = t
 	return t, nil
+}
+
+// autoOptionsKey renders a normalized AutoOptions as a map key: two option
+// sets that behave identically render identically. Shared by the Auto
+// dispatcher map and the shared-batcher map.
+func autoOptionsKey(norm AutoOptions) string {
+	return fmt.Sprintf("w%d cap%d min%d s%d k%d t%d pb%d cse%t alg%s st%v disk%t prof%s",
+		norm.Workers, norm.Workspace, norm.MinDim, norm.MaxSteps, norm.ProbeTopK,
+		norm.ProbeTrials, norm.ProbeBudget, norm.CSE, strings.Join(norm.Algorithms, ","),
+		norm.Strategies, norm.NoDiskCache, norm.Profile.Fingerprint())
+}
+
+// BatchOptions configures a Batcher (and MultiplyBatch). The zero value is
+// ready to use: GOMAXPROCS total workers, an unbounded-bytes warm pool of at
+// most batch.DefaultMaxEntries shape-class entries, pipelined streams, and
+// default tuning. Workspace bounds the bytes of executor workspace the warm
+// pool retains (LRU eviction); Tuning passes probe policy, candidate
+// restrictions, and cache behavior through to the autotuner.
+type BatchOptions = batch.Options
+
+// Batcher dispatches many multiplications through warm per-shape-class
+// executors: work is keyed by the tuner's shape-class bucketing, each class
+// is tuned once (first touch) and then served by a retained executor whose
+// workspace arenas stay warm, and independent multiplications run
+// concurrently under one total Workers budget — a deep queue of small
+// problems runs many sequential multiplies side by side, while a lone large
+// problem uses the full-width parallel schedule. It is safe for concurrent
+// use; see NewBatcher.
+type Batcher = batch.Batcher
+
+// BatchTicket tracks one asynchronous Batcher.Submit; Wait blocks until the
+// multiplication ran and returns its error.
+type BatchTicket = batch.Ticket
+
+// BatchStream is a pipelined same-shape stream over a Batcher: Push stages
+// ("packs") the operands into retained double buffers and overlaps the copy
+// with the previous item's execution, so the caller may reuse its operand
+// buffers as soon as Push returns. Create one with Batcher.Stream.
+type BatchStream = batch.Stream
+
+// NewBatcher builds a batched dispatcher. The machine calibration behind its
+// tuners happens here (once), so construction may take ~100ms on a machine
+// with no persisted calibration; shape classes are tuned lazily as work
+// arrives. Close the batcher to stop its async runner pool.
+func NewBatcher(opts BatchOptions) (*Batcher, error) { return batch.New(opts) }
+
+// MultiplyBatch computes dsts[i] = as[i]·bs[i] for every i, running
+// independent multiplications concurrently through a process-shared Batcher
+// for the given options — so repeated calls with equal options reuse the
+// same warm executors and tuning decisions. The first error is returned.
+// Serving workloads with a long batcher lifetime should hold their own
+// NewBatcher instead.
+func MultiplyBatch(dsts, as, bs []*Matrix, opts BatchOptions) error {
+	b, err := sharedBatcher(opts)
+	if err != nil {
+		return err
+	}
+	return b.MultiplyAll(dsts, as, bs)
+}
+
+var (
+	batchMu    sync.Mutex
+	batchByOpt = map[string]*Batcher{}
+)
+
+// sharedBatcher returns the process-wide batcher for one option set,
+// mirroring sharedAuto: one entry per genuinely distinct option set, alive
+// for the process lifetime (its runner goroutines park on an empty queue).
+func sharedBatcher(opts BatchOptions) (*Batcher, error) {
+	norm := opts.Normalized()
+	key := fmt.Sprintf("w%d ws%d e%d g%d np%t q%d | %s",
+		norm.Workers, norm.Workspace, norm.MaxEntries, norm.GrainFLOPs,
+		norm.NoPipeline, norm.QueueDepth, autoOptionsKey(norm.Tuning.Normalized()))
+	batchMu.Lock()
+	defer batchMu.Unlock()
+	if b, ok := batchByOpt[key]; ok {
+		return b, nil
+	}
+	b, err := batch.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	batchByOpt[key] = b
+	return b, nil
 }
 
 // Multiply computes C = A·B with the named fast algorithm.

@@ -1,0 +1,587 @@
+// Package batch is the batched/streaming dispatch layer: it amortizes one
+// tuning decision — and one warm executor with its retained workspace arenas
+// — over streams of multiplications, the serving regime the tuner alone
+// cannot exploit. Where fastmm.Auto pays dispatch, workspace warm-up, and
+// intra-multiply synchronization per call, a Batcher keys incoming work by
+// shape class (tuner.ClassOf's geometric bucketing), keeps a bounded pool of
+// warm per-class entries with LRU eviction under a byte budget, and runs
+// independent multiplications concurrently on a worker pool while splitting
+// each one's internal parallelism so the total stays inside one Workers
+// budget: a deep queue of small problems runs many sequential multiplies
+// side by side (near-perfect scaling — no per-call barriers), while a lone
+// large problem gets the full-width BFS/DFS treatment it gets today.
+//
+// This is the paper's §4.5 bandwidth-vs-compute lesson applied across calls
+// instead of within one: the per-call overheads (operand packing, addition
+// synchronization, goroutine fan-out) are fixed costs that only amortize when
+// consecutive same-shape multiplications share an executor, and the pipelined
+// Stream overlaps the next item's operand staging with the current item's
+// execution the way BLIS-style fused packing overlaps packing with the
+// macro-kernel.
+package batch
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastmm/internal/mat"
+	"fastmm/internal/tuner"
+)
+
+// ErrClosed is returned by Submit and Multiply after Close.
+var ErrClosed = errors.New("batch: batcher is closed")
+
+// DefaultGrainFLOPs is the per-worker work grain below which a multiply
+// prefers inter-multiply concurrency over splitting itself (Options.GrainFLOPs).
+const DefaultGrainFLOPs = 64 << 20
+
+// Options configures a Batcher. The zero value is ready to use: GOMAXPROCS
+// workers, an unlimited warm pool of up to DefaultMaxEntries entries,
+// pipelined streams, and default tuning behavior.
+type Options struct {
+	// Workers is the total goroutine budget across every multiplication in
+	// flight (default GOMAXPROCS). A single large multiply may use all of
+	// it; concurrent submissions split it between them.
+	Workers int
+	// Workspace, when positive, bounds the bytes of workspace the warm-entry
+	// pool may keep retained across calls: least-recently-used entries are
+	// evicted (executor, arenas and all) until the pool fits. The most
+	// recently used entry always survives, so a budget below one entry's
+	// footprint degrades to per-class-switch rebuilding, never to failure.
+	Workspace int64
+	// MaxEntries bounds the warm-entry count independently of bytes
+	// (default DefaultMaxEntries).
+	MaxEntries int
+	// GrainFLOPs is the flop count that justifies one worker of internal
+	// parallelism (default DefaultGrainFLOPs): a multiply is granted at most
+	// flops/GrainFLOPs internal workers, so small problems run sequentially
+	// and rely on inter-multiply concurrency for throughput.
+	GrainFLOPs int64
+	// NoPipeline disables the double-buffered operand staging of Stream;
+	// Push then multiplies synchronously.
+	NoPipeline bool
+	// QueueDepth is the async submission queue capacity (default
+	// 4×Workers); a full queue makes Submit block (backpressure).
+	QueueDepth int
+	// Tuning configures the per-entry tuners. Workers is managed per entry
+	// width and Profile is filled from the batcher's one calibration, so
+	// those two fields are overridden; everything else (probe policy,
+	// candidate restrictions, per-plan Workspace cap, NoDiskCache, ...)
+	// passes through to internal/tuner.
+	Tuning tuner.Options
+}
+
+// DefaultMaxEntries bounds the warm pool when Options.MaxEntries is zero.
+const DefaultMaxEntries = 64
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = DefaultMaxEntries
+	}
+	if o.GrainFLOPs <= 0 {
+		o.GrainFLOPs = DefaultGrainFLOPs
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	return o
+}
+
+// Normalized returns the options with defaults resolved — two option sets
+// behave identically iff their normalized forms are equal (the key of
+// fastmm's shared-batcher map).
+func (o Options) Normalized() Options { return o.withDefaults() }
+
+// entryKey identifies one warm entry: a shape class at one internal width.
+type entryKey struct {
+	class   tuner.ShapeClass
+	workers int
+}
+
+// warmEntry is one pooled decision: the tuned plan + trusted executor for a
+// shape class (via tuner.Entry), its semaphore weight, and its last observed
+// retained-workspace bytes (the LRU eviction currency).
+type warmEntry struct {
+	key    entryKey
+	te     *tuner.Entry
+	tokens int
+	elem   *list.Element // nil once evicted
+	bytes  int64
+}
+
+// Ticket tracks one asynchronous multiplication.
+type Ticket struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the multiplication has run and returns its error.
+func (t *Ticket) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// task is one queued submission; it embeds the Ticket so the async path
+// costs one struct and one channel per item, not three structs.
+type task struct {
+	C, A, B *mat.Dense
+	ticket  Ticket
+}
+
+// Batcher dispatches multiplications through a pool of warm per-shape-class
+// executors. It is safe for concurrent use. Multiply is synchronous; Submit
+// enqueues work for the batcher's runner pool and returns a Ticket. Close
+// waits for outstanding work and stops the runners.
+type Batcher struct {
+	opts Options
+	prof *tuner.Profile
+
+	tunersMu sync.Mutex
+	tuners   map[int]*tuner.Tuner
+
+	mu       sync.Mutex // warm pool: entries, lru, retained, building
+	entries  map[entryKey]*warmEntry
+	lru      *list.List // of *warmEntry; front = most recently used
+	retained int64
+	building map[entryKey]chan struct{}
+
+	sem wsem
+
+	// inflight counts multiplications between submission/entry and
+	// completion; the width policy divides Workers by it.
+	inflight atomic.Int64
+
+	// outMu/outCond guard the outstanding async count and the first error;
+	// Wait blocks on the condition, which is safe against concurrent Submit
+	// (unlike a WaitGroup).
+	outMu       sync.Mutex
+	outCond     *sync.Cond
+	outstanding int
+	firstErr    error
+
+	submitMu  sync.Mutex // serializes Submit vs Close on the queue
+	queueOnce sync.Once
+	queue     chan *task
+	closed    atomic.Bool
+}
+
+// New builds a Batcher. The one machine calibration behind every entry's
+// tuner happens here (or is taken from Options.Tuning.Profile), so the first
+// construction per process may take ~100ms; actual shape classes are tuned
+// lazily on first touch.
+func New(opts Options) (*Batcher, error) {
+	b := &Batcher{
+		opts:     opts.withDefaults(),
+		tuners:   map[int]*tuner.Tuner{},
+		entries:  map[entryKey]*warmEntry{},
+		lru:      list.New(),
+		building: map[entryKey]chan struct{}{},
+	}
+	b.outCond = sync.NewCond(&b.outMu)
+	b.sem.free = b.opts.Workers
+	if _, err := b.tunerFor(b.opts.Workers); err != nil { // calibrate once
+		return nil, err
+	}
+	return b, nil
+}
+
+// Workers reports the batcher's total worker budget.
+func (b *Batcher) Workers() int { return b.opts.Workers }
+
+// tunerFor returns the tuner for one internal width, building it lazily.
+// Every width shares the calibration of the first tuner built.
+func (b *Batcher) tunerFor(w int) (*tuner.Tuner, error) {
+	b.tunersMu.Lock()
+	defer b.tunersMu.Unlock()
+	if tn, ok := b.tuners[w]; ok {
+		return tn, nil
+	}
+	topts := b.opts.Tuning
+	topts.Workers = w
+	if b.prof != nil {
+		topts.Profile = b.prof
+	}
+	tn, err := tuner.New(topts)
+	if err != nil {
+		return nil, err
+	}
+	if b.prof == nil {
+		b.prof = tn.Calibration()
+	}
+	b.tuners[w] = tn
+	return tn, nil
+}
+
+// Multiply computes C = A·B synchronously through the warm entry for the
+// operands' shape class, tuning the class on first touch. Concurrent callers
+// share the Workers budget: each call's internal width shrinks as more
+// multiplications are in flight.
+func (b *Batcher) Multiply(C, A, B *mat.Dense) error {
+	if err := checkDims(C, A, B); err != nil {
+		return err
+	}
+	if b.closed.Load() {
+		return ErrClosed
+	}
+	load := b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	e, err := b.entryFor(A.Rows(), A.Cols(), B.Cols(), int(load))
+	if err != nil {
+		return err
+	}
+	return b.run(e, C, A, B)
+}
+
+// Submit enqueues C = A·B for asynchronous execution and returns a Ticket.
+// Dimension errors surface immediately; execution errors on the Ticket (and,
+// aggregated, from Wait). C, A, and B must stay untouched until the Ticket
+// resolves. A full queue makes Submit block.
+func (b *Batcher) Submit(C, A, B *mat.Dense) (*Ticket, error) {
+	if err := checkDims(C, A, B); err != nil {
+		return nil, err
+	}
+	tk := &task{C: C, A: A, B: B, ticket: Ticket{done: make(chan struct{})}}
+	b.submitMu.Lock()
+	if b.closed.Load() {
+		b.submitMu.Unlock()
+		return nil, ErrClosed
+	}
+	b.startRunners()
+	b.addOutstanding()
+	b.inflight.Add(1)
+	b.queue <- tk
+	b.submitMu.Unlock()
+	return &tk.ticket, nil
+}
+
+// MultiplyAll computes dsts[i] = as[i]·bs[i] for every i, running independent
+// items concurrently under the Workers budget, and returns the first error.
+func (b *Batcher) MultiplyAll(dsts, as, bs []*mat.Dense) error {
+	if len(dsts) != len(as) || len(as) != len(bs) {
+		return fmt.Errorf("batch: mismatched batch lengths dsts=%d as=%d bs=%d",
+			len(dsts), len(as), len(bs))
+	}
+	tickets := make([]*Ticket, len(dsts))
+	var firstErr error
+	for i := range dsts {
+		t, err := b.Submit(dsts[i], as[i], bs[i])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		tickets[i] = t
+	}
+	for _, t := range tickets {
+		if t == nil {
+			continue
+		}
+		if err := t.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Wait blocks until every asynchronous multiplication submitted so far has
+// completed and returns the first error among them since the last Wait
+// (individual Tickets report the same errors per item).
+func (b *Batcher) Wait() error {
+	b.outMu.Lock()
+	for b.outstanding > 0 {
+		b.outCond.Wait()
+	}
+	err := b.firstErr
+	b.firstErr = nil
+	b.outMu.Unlock()
+	return err
+}
+
+// Close waits for outstanding work, stops the runner pool, and marks the
+// batcher closed (further Multiply/Submit calls fail with ErrClosed). It
+// returns Wait's error. Close is idempotent.
+func (b *Batcher) Close() error {
+	b.submitMu.Lock()
+	alreadyClosed := b.closed.Swap(true)
+	b.submitMu.Unlock()
+	if alreadyClosed {
+		return nil
+	}
+	err := b.Wait()
+	b.submitMu.Lock()
+	if b.queue != nil {
+		close(b.queue)
+		b.queue = nil
+	}
+	b.submitMu.Unlock()
+	return err
+}
+
+// WarmEntries reports how many warm entries the pool currently holds.
+func (b *Batcher) WarmEntries() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// WorkspaceRetained reports the bytes of executor workspace the warm pool
+// currently retains (the LRU eviction currency; updated after each call).
+func (b *Batcher) WorkspaceRetained() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retained
+}
+
+// PlanFor reports the plan the batcher would run an ⟨m,k,n⟩ multiply with
+// when nothing else is in flight, warming its class entry on first touch.
+func (b *Batcher) PlanFor(m, k, n int) (tuner.Plan, error) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return tuner.Plan{}, fmt.Errorf("batch: invalid shape %d×%d×%d", m, k, n)
+	}
+	e, err := b.entryFor(m, k, n, 1)
+	if err != nil {
+		return tuner.Plan{}, err
+	}
+	return e.te.Plan(), nil
+}
+
+// startRunners spins up the runner pool on first async use (a batcher used
+// only synchronously never spawns a goroutine). Callers hold submitMu.
+func (b *Batcher) startRunners() {
+	b.queueOnce.Do(func() {
+		b.queue = make(chan *task, b.opts.QueueDepth)
+		for i := 0; i < b.opts.Workers; i++ {
+			go b.runner(b.queue)
+		}
+	})
+}
+
+func (b *Batcher) runner(queue chan *task) {
+	for tk := range queue {
+		load := int(b.inflight.Load())
+		e, err := b.entryFor(tk.A.Rows(), tk.A.Cols(), tk.B.Cols(), load)
+		if err == nil {
+			err = b.run(e, tk.C, tk.A, tk.B)
+		}
+		tk.ticket.err = err
+		close(tk.ticket.done)
+		b.inflight.Add(-1)
+		b.doneOutstanding(err)
+	}
+}
+
+func (b *Batcher) addOutstanding() {
+	b.outMu.Lock()
+	b.outstanding++
+	b.outMu.Unlock()
+}
+
+func (b *Batcher) doneOutstanding(err error) {
+	b.outMu.Lock()
+	b.outstanding--
+	if err != nil && b.firstErr == nil {
+		b.firstErr = err
+	}
+	if b.outstanding == 0 {
+		b.outCond.Broadcast()
+	}
+	b.outMu.Unlock()
+}
+
+// run executes one multiplication through a warm entry under the semaphore
+// and refreshes the entry's byte accounting. The steady-state path allocates
+// nothing beyond the executor's own per-call context.
+func (b *Batcher) run(e *warmEntry, C, A, B *mat.Dense) error {
+	b.sem.acquire(e.tokens)
+	err := e.te.Multiply(C, A, B)
+	b.sem.release(e.tokens)
+	b.touch(e)
+	return err
+}
+
+// widthFor picks a multiply's internal parallelism: the fair share of the
+// Workers budget at the current load, capped by the work grain, rounded down
+// to a power of two so classes collapse onto few tuned widths.
+func (b *Batcher) widthFor(m, k, n, load int) int {
+	if load < 1 {
+		load = 1
+	}
+	w := b.opts.Workers / load
+	if g := 2 * int64(m) * int64(k) * int64(n) / b.opts.GrainFLOPs; g < int64(w) {
+		w = int(g)
+	}
+	if w < 1 {
+		return 1
+	}
+	if w > b.opts.Workers {
+		w = b.opts.Workers
+	}
+	return floorPow2(w)
+}
+
+// entryFor resolves (building if needed) the warm entry for a shape at the
+// current load. First touches of a class+width tune once — concurrent
+// first-touchers wait for the builder instead of tuning in parallel.
+func (b *Batcher) entryFor(m, k, n, load int) (*warmEntry, error) {
+	key := entryKey{class: tuner.ClassOf(m, k, n), workers: b.widthFor(m, k, n, load)}
+	for {
+		b.mu.Lock()
+		if e, ok := b.entries[key]; ok {
+			b.lru.MoveToFront(e.elem)
+			b.mu.Unlock()
+			return e, nil
+		}
+		ch, building := b.building[key]
+		if !building {
+			ch = make(chan struct{})
+			b.building[key] = ch
+			b.mu.Unlock()
+			return b.buildEntry(key, ch)
+		}
+		b.mu.Unlock()
+		<-ch // another goroutine is tuning this class; reuse its result
+	}
+}
+
+// buildEntry tunes a class representative at the key's width and installs
+// the entry, evicting over-budget LRU entries.
+func (b *Batcher) buildEntry(key entryKey, ch chan struct{}) (*warmEntry, error) {
+	var (
+		te  *tuner.Entry
+		err error
+	)
+	tn, err := b.tunerFor(key.workers)
+	if err == nil {
+		cm, ck, cn := key.class.Dims()
+		te, err = tn.Entry(cm, ck, cn)
+	}
+	b.mu.Lock()
+	delete(b.building, key)
+	close(ch)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	tokens := te.Plan().Workers
+	if tokens < 1 {
+		tokens = 1
+	}
+	if tokens > b.opts.Workers {
+		tokens = b.opts.Workers
+	}
+	e := &warmEntry{key: key, te: te, tokens: tokens}
+	e.elem = b.lru.PushFront(e)
+	b.entries[key] = e
+	b.evictLocked()
+	b.mu.Unlock()
+	return e, nil
+}
+
+// touch refreshes an entry's retained-bytes accounting and LRU position
+// after a call, evicting if the pool went over budget.
+func (b *Batcher) touch(e *warmEntry) {
+	bytes := e.te.WorkspaceRetained()
+	b.mu.Lock()
+	if e.elem != nil { // evicted entries are no longer accounted
+		b.retained += bytes - e.bytes
+		e.bytes = bytes
+		b.lru.MoveToFront(e.elem)
+		b.evictLocked()
+	}
+	b.mu.Unlock()
+}
+
+// evictLocked sheds least-recently-used entries while the pool exceeds the
+// entry-count bound or the byte budget, always keeping the most recent one.
+// The underlying tuner is told to Forget the class so the executor and its
+// arenas are collectable once in-flight holders finish. Callers hold b.mu.
+func (b *Batcher) evictLocked() {
+	for b.lru.Len() > 1 &&
+		(b.lru.Len() > b.opts.MaxEntries ||
+			(b.opts.Workspace > 0 && b.retained > b.opts.Workspace)) {
+		back := b.lru.Back()
+		e := back.Value.(*warmEntry)
+		b.lru.Remove(back)
+		e.elem = nil
+		delete(b.entries, e.key)
+		b.retained -= e.bytes
+		b.tunersMu.Lock()
+		if tn, ok := b.tuners[e.key.workers]; ok {
+			cm, ck, cn := e.key.class.Dims()
+			tn.Forget(cm, ck, cn)
+		}
+		b.tunersMu.Unlock()
+	}
+}
+
+func checkDims(C, A, B *mat.Dense) error {
+	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
+		return fmt.Errorf("batch: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
+			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
+	}
+	return nil
+}
+
+func floorPow2(v int) int {
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// wsem is a FIFO weighted semaphore over the Workers budget: a multiply
+// acquires as many tokens as its plan's internal width, so the total
+// goroutine fan-out across concurrent multiplications respects one budget.
+// FIFO granting keeps wide (full-budget) acquisitions from starving behind a
+// stream of narrow ones.
+type wsem struct {
+	mu      sync.Mutex
+	free    int
+	waiters list.List // of *semWaiter
+}
+
+type semWaiter struct {
+	n     int
+	ready chan struct{}
+}
+
+func (s *wsem) acquire(n int) {
+	s.mu.Lock()
+	if s.waiters.Len() == 0 && s.free >= n {
+		s.free -= n
+		s.mu.Unlock()
+		return
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	s.waiters.PushBack(w)
+	s.mu.Unlock()
+	<-w.ready
+}
+
+func (s *wsem) release(n int) {
+	s.mu.Lock()
+	s.free += n
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			break
+		}
+		w := front.Value.(*semWaiter)
+		if w.n > s.free {
+			break
+		}
+		s.free -= w.n
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}

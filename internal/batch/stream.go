@@ -1,0 +1,130 @@
+package batch
+
+import (
+	"fmt"
+
+	"fastmm/internal/mat"
+)
+
+// Stream is a same-shape pipeline over a Batcher: a fixed ⟨m,k,n⟩ warm entry
+// plus two staging slots that double-buffer operand packing against
+// execution. Push copies ("packs") the operands into the next slot's
+// retained staging buffers and schedules execution asynchronously, so the
+// copy of item i+1 — and whatever work the caller does to produce it —
+// overlaps the recursion of item i, the cross-call analogue of BLIS-style
+// fused packing. Because Push returns once the operands are staged, the
+// caller may immediately reuse or overwrite A and B; only C must survive
+// until Flush (or until a later Push has cycled past the item's slot).
+//
+// A Stream is a single-goroutine object: Push and Flush must not be called
+// concurrently (use several Streams, or the Batcher's Submit, for that).
+// With Options.NoPipeline set, Push degrades to a synchronous Multiply
+// through the same warm entry and no staging copies are made.
+type Stream struct {
+	b       *Batcher
+	m, k, n int
+	e       *warmEntry
+	pipe    bool
+	slots   [2]streamSlot
+	cur     int
+	err     error // first deferred execution error, surfaced by Push/Flush
+}
+
+// streamSlot owns one pipeline stage: lazily allocated staging buffers and
+// the ticket of the execution currently reading them.
+type streamSlot struct {
+	a, b   *mat.Dense
+	ticket *Ticket
+}
+
+// Stream builds a pipeline for one exact shape, warming (tuning on first
+// touch) the shape class at full width — a stream executes one item at a
+// time, so each item gets the whole-budget treatment.
+func (b *Batcher) Stream(m, k, n int) (*Stream, error) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("batch: invalid stream shape %d×%d×%d", m, k, n)
+	}
+	if b.closed.Load() {
+		return nil, ErrClosed
+	}
+	e, err := b.entryFor(m, k, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{b: b, m: m, k: k, n: n, e: e, pipe: !b.opts.NoPipeline}, nil
+}
+
+// Push schedules C = A·B. Operand dimensions must match the stream's shape
+// exactly. In pipelined mode the current item completes asynchronously, so a
+// non-nil return reports a *previous* item's failure; each deferred failure
+// is surfaced exactly once (by the first Push or Flush to see it), and the
+// stream keeps accepting work after one.
+func (s *Stream) Push(C, A, B *mat.Dense) error {
+	if A.Rows() != s.m || A.Cols() != s.k || B.Rows() != s.k || B.Cols() != s.n ||
+		C.Rows() != s.m || C.Cols() != s.n {
+		return fmt.Errorf("batch: stream is %d×%d×%d, got C %d×%d = A %d×%d · B %d×%d",
+			s.m, s.k, s.n, C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
+	}
+	if s.b.closed.Load() {
+		return ErrClosed
+	}
+	if !s.pipe {
+		s.b.inflight.Add(1)
+		err := s.b.run(s.e, C, A, B)
+		s.b.inflight.Add(-1)
+		return err
+	}
+	slot := &s.slots[s.cur]
+	s.cur = 1 - s.cur
+	if slot.ticket != nil { // reclaim: the slot's previous execution must end
+		if err := slot.ticket.Wait(); err != nil && s.err == nil {
+			s.err = err
+		}
+		slot.ticket = nil
+	}
+	if slot.a == nil {
+		slot.a = mat.New(s.m, s.k)
+		slot.b = mat.New(s.k, s.n)
+	}
+	slot.a.CopyFrom(A) // the packing stage: overlaps the other slot's execution
+	slot.b.CopyFrom(B)
+	slot.ticket = s.b.goRun(s.e, C, slot.a, slot.b)
+	err := s.err
+	s.err = nil
+	return err
+}
+
+// Flush drains the pipeline: it blocks until every pushed item has executed
+// and returns the first not-yet-surfaced error among them. The stream stays
+// usable after Flush.
+func (s *Stream) Flush() error {
+	for i := range s.slots {
+		if t := s.slots[i].ticket; t != nil {
+			if err := t.Wait(); err != nil && s.err == nil {
+				s.err = err
+			}
+			s.slots[i].ticket = nil
+		}
+	}
+	err := s.err
+	s.err = nil
+	return err
+}
+
+// goRun executes one staged multiplication on its own goroutine, outside the
+// submit queue (stream ordering lives in the slots), but inside the Workers
+// budget and the batcher's outstanding accounting, so Close still drains
+// active streams. Stream errors are not folded into Batcher.Wait's first
+// error — the stream's own Push/Flush reporting owns them.
+func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) *Ticket {
+	t := &Ticket{done: make(chan struct{})}
+	b.addOutstanding()
+	b.inflight.Add(1)
+	go func() {
+		t.err = b.run(e, C, A, B)
+		close(t.done)
+		b.inflight.Add(-1)
+		b.doneOutstanding(nil)
+	}()
+	return t
+}

@@ -70,7 +70,8 @@ func runAllocs(cfg Config) ([]Point, error) {
 			float64(e.WorkspaceRetained())/(1<<20),
 			float64(e.WorkspaceBytes(n, n, n))/(1<<20))
 		pts = append(pts, Point{Series: mode.String(), X: n, P: n, Q: n, R: n,
-			Workers: workers, Seconds: secs, Eff: eff, EffCore: eff / float64(workers)})
+			Workers: workers, Seconds: secs, Eff: eff, EffCore: eff / float64(workers),
+			Allocs: allocs})
 	}
 	return pts, nil
 }

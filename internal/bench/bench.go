@@ -72,6 +72,11 @@ type Point struct {
 	Seconds float64
 	Eff     float64 // effective GFLOPS, Equation (3)
 	EffCore float64 // effective GFLOPS per core
+	// Allocs is the heap allocations per multiplication, where the
+	// experiment measures it (the allocs and batch experiments); 0 means
+	// "not measured". It is a trend-job signal: timing on shared CI runners
+	// is noisy, allocation counts are exact.
+	Allocs float64 `json:"allocs,omitempty"`
 }
 
 // effective implements Equation (3).

@@ -195,6 +195,13 @@ func (l *lru) get(key string) (*decision, bool) {
 	return el.Value.(*lruEntry).d, true
 }
 
+func (l *lru) remove(key string) {
+	if el, ok := l.items[key]; ok {
+		l.ll.Remove(el)
+		delete(l.items, key)
+	}
+}
+
 func (l *lru) add(key string, d *decision) {
 	if el, ok := l.items[key]; ok {
 		l.ll.MoveToFront(el)

@@ -1,0 +1,47 @@
+package tuner
+
+import "testing"
+
+func TestBucketDim(t *testing.T) {
+	cases := map[int]int{
+		1: 4, 3: 4, 4: 4, 5: 5, 6: 6, 7: 7, 8: 8, 9: 10, 10: 10, 11: 12,
+		14: 14, 15: 16, 64: 64, 96: 96, 100: 112, 224: 224, 225: 256,
+		512: 512, 700: 768, 768: 768, 897: 1024,
+	}
+	for d, want := range cases {
+		if got := bucketDim(d); got != want {
+			t.Errorf("bucketDim(%d) = %d, want %d", d, got, want)
+		}
+	}
+	for d := 1; d < 3000; d++ {
+		got := bucketDim(d)
+		if got < d {
+			t.Fatalf("bucketDim(%d) = %d understates the dimension", d, got)
+		}
+		if d > 4 && float64(got) > 1.27*float64(d) {
+			t.Fatalf("bucketDim(%d) = %d overshoots by more than the grid ratio", d, got)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	c := ClassOf(700, 512, 225)
+	if c != (ShapeClass{M: 768, K: 512, N: 256}) {
+		t.Fatalf("ClassOf(700,512,225) = %v", c)
+	}
+	m, k, n := c.Dims()
+	if m != 768 || k != 512 || n != 256 {
+		t.Fatalf("Dims() = %d,%d,%d", m, k, n)
+	}
+	if c.String() != "768x512x256" {
+		t.Fatalf("String() = %q", c.String())
+	}
+	// Classes partition: members map to themselves (representatives are
+	// fixed points of the bucketing).
+	for d := 1; d < 2000; d++ {
+		rep := bucketDim(d)
+		if bucketDim(rep) != rep {
+			t.Fatalf("representative %d (from %d) is not a fixed point", rep, d)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"fastmm/internal/addchain"
 	"fastmm/internal/algo"
@@ -86,6 +87,12 @@ type Options struct {
 	// ProbeTrials is the timing trials per probe (default 1; the probe
 	// reports the fastest).
 	ProbeTrials int
+	// ProbeBudget, when positive, bounds the wall-clock time spent probing
+	// one tuning decision: once the budget is exhausted no further survivor
+	// is timed, and the winner is the best measured so far (or the model's
+	// top pick when the budget ran out before the first probe). The zero
+	// value keeps the purely count-based ProbeTopK policy.
+	ProbeBudget time.Duration
 	// Algorithms restricts the candidate catalog entries (default: the
 	// whole catalog minus the classical decompositions, which the direct
 	// gemm baseline already covers).
@@ -291,6 +298,55 @@ func (t *Tuner) PlanFor(m, k, n int) (Plan, error) {
 // from the cache. cmd/fmmtune uses it to pre-warm the disk cache.
 func (t *Tuner) Warm(m, k, n int) (Plan, error) { return t.PlanFor(m, k, n) }
 
+// Entry is one warm tuning decision: the chosen plan bound to its runnable
+// trusted executor (nil executor for the classical baseline). Holding an
+// Entry pins the executor and its retained workspace arenas independently of
+// the tuner's internal LRU, which is exactly what a batched dispatcher wants:
+// resolve once per shape class, then multiply through the entry with no
+// per-call key formatting or cache traffic at all.
+type Entry struct {
+	d *decision
+}
+
+// Entry returns the warm entry for a shape, tuning it on first touch. The
+// returned entry stays valid (and keeps its executor's arenas warm) even if
+// the tuner later evicts or Forgets the shape.
+func (t *Tuner) Entry(m, k, n int) (*Entry, error) {
+	d, err := t.decide(m, k, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{d: d}, nil
+}
+
+// Plan reports the entry's tuned plan.
+func (e *Entry) Plan() Plan { return e.d.plan }
+
+// Multiply computes C = A·B with the entry's plan. Safe for concurrent use.
+func (e *Entry) Multiply(C, A, B *mat.Dense) error { return e.d.multiply(C, A, B) }
+
+// WorkspaceRetained reports the bytes currently held by the entry executor's
+// arena pool (0 for the classical baseline, whose packing slabs are pooled
+// globally by the gemm kernel).
+func (e *Entry) WorkspaceRetained() int64 {
+	if e.d.exec == nil {
+		return 0
+	}
+	return e.d.exec.WorkspaceRetained()
+}
+
+// Forget drops a shape's decision from the tuner's in-memory cache, so its
+// executor (and retained arenas) can be collected once outstanding Entry
+// holders release it. The persisted plan survives: re-touching the shape
+// rebuilds the executor from the disk cache without re-probing. Byte-budget
+// eviction in the batched dispatcher is the intended caller.
+func (t *Tuner) Forget(m, k, n int) {
+	key := t.key(m, k, n)
+	t.mu.Lock()
+	t.lru.remove(key)
+	t.mu.Unlock()
+}
+
 // key identifies a tuning decision: the shape plus every option that changes
 // the answer. Only the shape varies per call; the options part is
 // precomputed once in New so the warm dispatch path formats one string.
@@ -311,10 +367,16 @@ func (t *Tuner) makeKeySuffix() string {
 	for _, s := range t.opts.Strategies {
 		fmt.Fprintf(h, "%d,", int(s))
 	}
-	return fmt.Sprintf("w%d/cap%d/min%d/s%d/k%d/t%d/cse%t/c%016x/p%s",
+	// ProbeBudget enters only when set, so default-policy tuners keep the
+	// cache keys (and persisted entries) of earlier versions.
+	budget := ""
+	if t.opts.ProbeBudget > 0 {
+		budget = fmt.Sprintf("/pb%d", t.opts.ProbeBudget)
+	}
+	return fmt.Sprintf("w%d/cap%d/min%d/s%d/k%d/t%d/cse%t/c%016x/p%s%s",
 		t.opts.Workers, t.opts.Workspace,
 		t.opts.MinDim, t.opts.MaxSteps, t.opts.ProbeTopK, t.opts.ProbeTrials,
-		t.opts.CSE, h.Sum64(), t.prof.Fingerprint())
+		t.opts.CSE, h.Sum64(), t.prof.Fingerprint(), budget)
 }
 
 func (t *Tuner) decide(m, k, n int) (*decision, error) {
@@ -638,8 +700,14 @@ func (t *Tuner) pick(ranked []Plan, m, k, n int) (*decision, error) {
 // probe times each surviving decision on deterministic random operands of
 // the real shape and returns the fastest. One short multiplication per
 // candidate: the probes exist to catch what the model misranks, and their
-// cost is amortized by the disk cache.
+// cost is amortized by the disk cache. A positive ProbeBudget additionally
+// stops the sweep once the wall-clock budget is spent; with no probe
+// completed the model's top pick (survivors[0]) wins by ranking.
 func (t *Tuner) probe(survivors []*decision, m, k, n int) *decision {
+	var deadline time.Time
+	if t.opts.ProbeBudget > 0 {
+		deadline = time.Now().Add(t.opts.ProbeBudget)
+	}
 	rng := rand.New(rand.NewSource(int64(m)*1_000_003 + int64(k)*1_009 + int64(n)))
 	A, B, C := mat.New(m, k), mat.New(k, n), mat.New(m, n)
 	A.FillRandom(rng)
@@ -647,6 +715,9 @@ func (t *Tuner) probe(survivors []*decision, m, k, n int) *decision {
 
 	var best *decision
 	for _, d := range survivors {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
 		d := d
 		secs := bestTime(t.opts.ProbeTrials, func() {
 			if err := d.multiply(C, A, B); err != nil {
@@ -657,6 +728,9 @@ func (t *Tuner) probe(survivors []*decision, m, k, n int) *decision {
 		if best == nil || secs < best.plan.MeasuredSeconds {
 			best = d
 		}
+	}
+	if best == nil {
+		return survivors[0]
 	}
 	return best
 }

@@ -425,3 +425,93 @@ func TestEmptyEnvFallsBackToDefault(t *testing.T) {
 		}
 	}
 }
+
+// An exhausted ProbeBudget must fall back to the model's top pick (no probe
+// ran, so no MeasuredSeconds), while a generous budget probes as before —
+// the first bullet of the roadmap's "richer probe policy".
+func TestProbeBudget(t *testing.T) {
+	starved := mustTuner(t, Options{
+		Workers:     1,
+		Profile:     testProfile(1),
+		ProbeBudget: time.Nanosecond, // spent before the first probe starts
+		NoDiskCache: true,
+	})
+	p, err := starved.PlanFor(192, 192, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeasuredSeconds != 0 {
+		t.Fatalf("starved budget still probed: %+v", p)
+	}
+	ranked, err := starved.Rank(192, 192, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm != ranked[0].Algorithm || p.Steps != ranked[0].Steps {
+		t.Fatalf("starved budget must return the model's top pick %v, got %v", ranked[0], p)
+	}
+
+	generous := mustTuner(t, Options{
+		Workers:     1,
+		Profile:     testProfile(1),
+		ProbeBudget: time.Hour,
+		NoDiskCache: true,
+	})
+	p2, err := generous.PlanFor(192, 192, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.MeasuredSeconds <= 0 {
+		t.Fatalf("generous budget must probe: %+v", p2)
+	}
+
+	// The budget is part of the tuning identity: differently budgeted tuners
+	// must not share cache entries.
+	if starved.key(192, 192, 192) == generous.key(192, 192, 192) {
+		t.Fatal("ProbeBudget must enter the cache key")
+	}
+	unbudgeted := mustTuner(t, modelOnlyOpts(1))
+	if strings.Contains(unbudgeted.key(192, 192, 192), "/pb") {
+		t.Fatal("zero ProbeBudget must keep the legacy cache key")
+	}
+}
+
+// Entry/Forget is the warm-entry surface the batched dispatcher builds on.
+func TestEntryAndForget(t *testing.T) {
+	tn := mustTuner(t, modelOnlyOpts(1))
+	e, err := tn.Entry(192, 192, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, B := mat.New(192, 192), mat.New(192, 192)
+	rng := rand.New(rand.NewSource(5))
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+	C, want := mat.New(192, 192), mat.New(192, 192)
+	gemm.Mul(want, A, B)
+	if err := e.Multiply(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(C, want); d > 1e-9*193 {
+		t.Fatalf("entry multiply: max diff %g", d)
+	}
+	if !e.Plan().IsClassical() && e.WorkspaceRetained() <= 0 {
+		t.Fatalf("fast entry retained no workspace after a call: %+v", e.Plan())
+	}
+
+	tn.Forget(192, 192, 192)
+	if _, ok := tn.lru.get(tn.key(192, 192, 192)); ok {
+		t.Fatal("Forget must drop the in-memory entry")
+	}
+	// The entry handle outlives the eviction, and re-touching re-tunes.
+	if err := e.Multiply(C, A, B); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := tn.Entry(192, 192, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Plan().Algorithm != e.Plan().Algorithm {
+		t.Fatalf("re-tuned plan diverged: %v vs %v", e2.Plan(), e.Plan())
+	}
+}
