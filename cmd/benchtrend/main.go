@@ -118,6 +118,25 @@ func extract(r report) map[string]metric {
 				out[fmt.Sprintf("allocs/op %s", pt.Series)] =
 					metric{value: pt.Allocs, absSlack: 1, gate: true}
 			}
+		case "backends":
+			// Info-only: per-size simd-vs-portable sequential speedup.
+			// Timing on shared runners is noisy, so it never gates, but the
+			// trajectory of the asm kernel's advantage is worth a line.
+			seq := map[int]map[string]float64{}
+			for _, pt := range run.Points {
+				if len(pt.Series) < 4 || pt.Series[len(pt.Series)-4:] != "-seq" || pt.Seconds <= 0 {
+					continue
+				}
+				if seq[pt.X] == nil {
+					seq[pt.X] = map[string]float64{}
+				}
+				seq[pt.X][pt.Series[:len(pt.Series)-4]] = pt.Seconds
+			}
+			for n, by := range seq {
+				if p, s := by["portable"], by["simd"]; p > 0 && s > 0 {
+					out[fmt.Sprintf("simd speedup N=%d", n)] = metric{value: p / s, gate: false}
+				}
+			}
 		case "batch":
 			// One cell per (shape, batch size); series distinguish styles.
 			type cell struct{ p, q, r, x int }

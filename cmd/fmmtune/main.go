@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"strings"
 
+	"fastmm/internal/costmodel"
+	"fastmm/internal/gemm"
 	"fastmm/internal/tuner"
 )
 
@@ -155,6 +157,7 @@ func cmdShow(args []string) error {
 	} else {
 		fmt.Printf("profile: %s\ncache:   %s\n", profilePath, cachePath)
 	}
+	printBackends()
 
 	if p, found := tuner.LoadProfile(); found {
 		printProfile(p)
@@ -231,10 +234,51 @@ func cmdClear(args []string) error {
 func printProfile(p *tuner.Profile) {
 	fmt.Printf("calibration (v%d, %s, GOMAXPROCS %d, quick=%v):\n",
 		p.Version, p.CreatedAt.Format("2006-01-02 15:04:05 MST"), p.GOMAXPROCS, p.Quick)
-	fmt.Printf("  %-8s %12s %12s\n", "N", "seq GFLOPS", fmt.Sprintf("%dw GFLOPS", p.Machine.Workers))
-	for _, s := range p.Machine.Gemm {
-		fmt.Printf("  %-8d %12.3f %12.3f\n", s.N, s.SeqGFLOPS, s.ParGFLOPS)
+	if len(p.Machine.BackendGemm) > 0 {
+		names := make([]string, 0, len(p.Machine.BackendGemm))
+		for name := range p.Machine.BackendGemm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			note := ""
+			if name == gemm.Default().Name() {
+				note = " (default)"
+			}
+			fmt.Printf("  backend %s%s:\n", name, note)
+			printCurve(p.Machine.BackendGemm[name], p.Machine.Workers)
+		}
+	} else { // pre-multi-backend profile: one anonymous curve
+		printCurve(p.Machine.Gemm, p.Machine.Workers)
 	}
 	fmt.Printf("  add bandwidth: %.2f GB/s seq, %.2f GB/s at %d workers\n",
 		p.Machine.AddSeqGBps, p.Machine.AddParGBps, p.Machine.Workers)
+}
+
+func printCurve(samples []costmodel.GemmSample, workers int) {
+	fmt.Printf("    %-8s %12s %12s\n", "N", "seq GFLOPS", fmt.Sprintf("%dw GFLOPS", workers))
+	for _, s := range samples {
+		fmt.Printf("    %-8d %12.3f %12.3f\n", s.N, s.SeqGFLOPS, s.ParGFLOPS)
+	}
+}
+
+// printBackends lists the registered leaf backends with their acceleration
+// state — which curve above will actually run for each name.
+func printBackends() {
+	fmt.Print("leaf backends:")
+	for _, name := range gemm.Names() {
+		be, err := gemm.Get(name)
+		if err != nil {
+			continue
+		}
+		tag := ""
+		if be.Accelerated() {
+			tag = "*"
+		}
+		if name == gemm.Default().Name() {
+			tag += " (default)"
+		}
+		fmt.Printf(" %s%s", name, tag)
+	}
+	fmt.Println("   [* = architecture-accelerated]")
 }

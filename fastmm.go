@@ -9,8 +9,11 @@
 // variants, rectangular base cases, and compositions such as the ⟨54,54,54⟩
 // algorithm), a recursive executor with dynamic peeling and three
 // matrix-addition strategies, three shared-memory schedulers (DFS, BFS,
-// HYBRID), a classical blocked gemm used both as base case and baseline, and
-// the ALS-based numerical search for discovering new algorithms.
+// HYBRID), pluggable classical leaf kernels used both as base case and
+// baseline (a portable Go blocked gemm, an AVX2 SIMD micro-kernel, and an
+// optional cgo BLAS bridge — the autotuner calibrates and picks between
+// them per shape; see LeafBackends), and the ALS-based numerical search for
+// discovering new algorithms.
 //
 // Quick start:
 //
@@ -241,10 +244,10 @@ func sharedAuto(opts AutoOptions) (*AutoExecutor, error) {
 // sets that behave identically render identically. Shared by the Auto
 // dispatcher map and the shared-batcher map.
 func autoOptionsKey(norm AutoOptions) string {
-	return fmt.Sprintf("w%d cap%d min%d s%d k%d t%d pb%d cse%t alg%s st%v disk%t prof%s",
+	return fmt.Sprintf("w%d cap%d min%d s%d k%d t%d pb%d cse%t alg%s st%v be%s disk%t prof%s",
 		norm.Workers, norm.Workspace, norm.MinDim, norm.MaxSteps, norm.ProbeTopK,
 		norm.ProbeTrials, norm.ProbeBudget, norm.CSE, strings.Join(norm.Algorithms, ","),
-		norm.Strategies, norm.NoDiskCache, norm.Profile.Fingerprint())
+		norm.Strategies, strings.Join(norm.Backends, ","), norm.NoDiskCache, norm.Profile.Fingerprint())
 }
 
 // BatchOptions configures a Batcher (and MultiplyBatch). The zero value is
@@ -320,6 +323,25 @@ func sharedBatcher(opts BatchOptions) (*Batcher, error) {
 	batchByOpt[key] = b
 	return b, nil
 }
+
+// LeafBackends lists the registered leaf-kernel backends ("portable" and
+// "simd" always; "blas" when built with the blas tag). The autotuner
+// enumerates them as a candidate dimension — restrict it with
+// AutoOptions.Backends, pin an executor with Options.Backend, or override
+// the process default with the FASTMM_BACKEND environment variable.
+func LeafBackends() []string { return gemm.Names() }
+
+// LeafBackendAccelerated reports whether the named backend runs an
+// architecture-specific fast path on this machine (e.g. the simd backend's
+// AVX2 assembly; false means its pure-Go fallback is in use).
+func LeafBackendAccelerated(name string) bool {
+	be, err := gemm.Get(name)
+	return err == nil && be.Accelerated()
+}
+
+// DefaultLeafBackend reports which backend the classical entry points (and
+// plans that name no backend) dispatch to.
+func DefaultLeafBackend() string { return gemm.Default().Name() }
 
 // Multiply computes C = A·B with the named fast algorithm.
 func Multiply(C, A, B *Matrix, algorithm string, opts Options) error {

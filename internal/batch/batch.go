@@ -45,7 +45,11 @@ const DefaultGrainFLOPs = 64 << 20
 type Options struct {
 	// Workers is the total goroutine budget across every multiplication in
 	// flight (default GOMAXPROCS). A single large multiply may use all of
-	// it; concurrent submissions split it between them.
+	// it; concurrent submissions split it between them. The budget is
+	// honored literally end to end: the semaphore grants tokens per plan
+	// width and the gemm layer runs exactly the width it is handed (it no
+	// longer silently clamps to GOMAXPROCS), so a Workers above the core
+	// count oversubscribes rather than silently shrinking.
 	Workers int
 	// Workspace, when positive, bounds the bytes of workspace the warm-entry
 	// pool may keep retained across calls: least-recently-used entries are
@@ -449,6 +453,25 @@ func (b *Batcher) entryFor(m, k, n, load int) (*warmEntry, error) {
 		b.mu.Unlock()
 		<-ch // another goroutine is tuning this class; reuse its result
 	}
+}
+
+// liveEntry returns e when it is still installed in the warm pool, else
+// re-resolves the shape through entryFor (re-installing and re-counting the
+// class). Long-lived holders (Stream) call it per item so an evicted entry is
+// never executed through indefinitely — an in-flight call racing an eviction
+// is unavoidable and bounded, but steady-state pinning outside the pool's
+// MaxEntries/Workspace accounting is not.
+func (b *Batcher) liveEntry(e *warmEntry, m, k, n int) (*warmEntry, error) {
+	b.mu.Lock()
+	live := e.elem != nil
+	if live {
+		b.lru.MoveToFront(e.elem)
+	}
+	b.mu.Unlock()
+	if live {
+		return e, nil
+	}
+	return b.entryFor(m, k, n, 1)
 }
 
 // buildEntry tunes a class representative at the key's width and installs

@@ -58,7 +58,8 @@ func (b *Batcher) Stream(m, k, n int) (*Stream, error) {
 // exactly. In pipelined mode the current item completes asynchronously, so a
 // non-nil return reports a *previous* item's failure; each deferred failure
 // is surfaced exactly once (by the first Push or Flush to see it), and the
-// stream keeps accepting work after one.
+// stream keeps accepting work after one — except ErrClosed, which reports
+// that *this* item was not scheduled.
 func (s *Stream) Push(C, A, B *mat.Dense) error {
 	if A.Rows() != s.m || A.Cols() != s.k || B.Rows() != s.k || B.Cols() != s.n ||
 		C.Rows() != s.m || C.Cols() != s.n {
@@ -68,6 +69,17 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 	if s.b.closed.Load() {
 		return ErrClosed
 	}
+	// A long-lived stream must not pin its warm entry against the pool's
+	// budgets: if the entry was evicted (LRU pressure from other classes),
+	// re-resolve it through the pool so it is re-installed and its retained
+	// arenas are counted against Options.Workspace again. Executing through
+	// the stale pointer instead would keep the arenas warm while invisible
+	// to the byte accounting.
+	e, err := s.b.liveEntry(s.e, s.m, s.k, s.n)
+	if err != nil {
+		return err
+	}
+	s.e = e
 	if !s.pipe {
 		s.b.inflight.Add(1)
 		err := s.b.run(s.e, C, A, B)
@@ -88,8 +100,15 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 	}
 	slot.a.CopyFrom(A) // the packing stage: overlaps the other slot's execution
 	slot.b.CopyFrom(B)
-	slot.ticket = s.b.goRun(s.e, C, slot.a, slot.b)
-	err := s.err
+	ticket, err := s.b.goRun(s.e, C, slot.a, slot.b)
+	if err != nil {
+		// A concurrent Close won the race: this item was staged but never
+		// scheduled. Deferred errors stay for Flush; the caller learns the
+		// push itself failed.
+		return err
+	}
+	slot.ticket = ticket
+	err = s.err
 	s.err = nil
 	return err
 }
@@ -116,15 +135,28 @@ func (s *Stream) Flush() error {
 // budget and the batcher's outstanding accounting, so Close still drains
 // active streams. Stream errors are not folded into Batcher.Wait's first
 // error — the stream's own Push/Flush reporting owns them.
-func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) *Ticket {
+//
+// The closed re-check happens under submitMu, the same lock Close takes
+// before flipping closed: either this goRun registers its outstanding work
+// before Close's Wait starts (and Close drains it), or it observes closed
+// and schedules nothing. Checking closed outside the lock (as Push's
+// fast-path does) is not enough — a push could pass the check, lose the
+// CPU, and schedule work after Close already drained Wait and returned.
+func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) (*Ticket, error) {
 	t := &Ticket{done: make(chan struct{})}
+	b.submitMu.Lock()
+	if b.closed.Load() {
+		b.submitMu.Unlock()
+		return nil, ErrClosed
+	}
 	b.addOutstanding()
 	b.inflight.Add(1)
+	b.submitMu.Unlock()
 	go func() {
 		t.err = b.run(e, C, A, B)
 		close(t.done)
 		b.inflight.Add(-1)
 		b.doneOutstanding(nil)
 	}()
-	return t
+	return t, nil
 }

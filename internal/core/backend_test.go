@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmm/internal/catalog"
+	"fastmm/internal/gemm"
+	"fastmm/internal/mat"
+)
+
+// TestExecutorPerBackend runs the full recursion (peeling included) on every
+// registered leaf backend and checks the product against the gemm oracle —
+// the leaf choice must never change the result beyond rounding.
+func TestExecutorPerBackend(t *testing.T) {
+	a := catalog.MustGet("strassen")
+	rng := rand.New(rand.NewSource(21))
+	m, k, n := 130, 127, 131 // odd dims force peeling fixups through the backend
+	A, B := mat.New(m, k), mat.New(k, n)
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+	want := mat.New(m, n)
+	gemm.Naive(want, A, B)
+
+	for _, name := range append([]string{""}, gemm.Names()...) {
+		for _, mode := range []Parallel{Sequential, DFS, BFS, Hybrid} {
+			e, err := New(a, Options{Steps: 2, Parallel: mode, Workers: 2, Backend: name})
+			if err != nil {
+				t.Fatalf("backend %q: %v", name, err)
+			}
+			if name != "" && e.Backend() != name {
+				t.Fatalf("executor resolved backend %q, want %q", e.Backend(), name)
+			}
+			C := mat.New(m, n)
+			if err := e.Multiply(C, A, B); err != nil {
+				t.Fatal(err)
+			}
+			if d := mat.MaxAbsDiff(C, want); d > 1e-9*float64(k+1) {
+				t.Fatalf("backend %q mode %v: off by %g", name, mode, d)
+			}
+			if e.WorkspaceBytes(m, k, n) <= 0 {
+				t.Fatalf("backend %q: non-positive workspace prediction", name)
+			}
+		}
+	}
+
+	if _, err := New(a, Options{Backend: "no-such-backend"}); err == nil {
+		t.Fatal("unknown backend must fail executor construction")
+	}
+}

@@ -87,6 +87,11 @@ type Options struct {
 	// (default GOMAXPROCS).
 	Parallel Parallel
 	Workers  int
+	// Backend names the leaf-kernel backend (gemm.Backend) the base-case
+	// multiplications and peeling fixups run on: "portable", "simd", "blas",
+	// or "" for gemm.Default(). The autotuner sets it per plan; unknown
+	// names fail executor construction.
+	Backend string
 	// Workspace, when positive, caps the predicted workspace (in bytes,
 	// per WorkspaceBytes) a Multiply call may claim. A BFS or HYBRID call
 	// whose per-branch workspace would exceed the cap degrades to DFS —
@@ -166,6 +171,7 @@ type levelPlan struct {
 type Executor struct {
 	schedule []levelPlan
 	opts     Options
+	be       gemm.Backend // resolved from opts.Backend at construction
 	arenas   workspace.Pool
 }
 
@@ -202,7 +208,11 @@ func newSchedule(algs []*algo.Algorithm, opts Options, verify bool) (*Executor, 
 		return nil, fmt.Errorf("core: empty algorithm schedule")
 	}
 	opts = opts.withDefaults()
-	e := &Executor{opts: opts}
+	be, err := gemm.Resolve(opts.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := &Executor{opts: opts, be: be}
 	e.arenas.MaxBytes = opts.Workspace
 	for _, a := range algs {
 		if a == nil {
@@ -233,6 +243,10 @@ func (e *Executor) Opts() Options { return e.opts }
 
 // Algorithm returns the first algorithm of the schedule.
 func (e *Executor) Algorithm() *algo.Algorithm { return e.schedule[0].alg }
+
+// Backend returns the name of the leaf-kernel backend the executor resolved
+// (the default backend's name when Options.Backend was empty).
+func (e *Executor) Backend() string { return e.be.Name() }
 
 // Multiply computes C = A·B. C must be A.Rows()×B.Cols() and must not alias
 // A or B.
@@ -300,7 +314,7 @@ func (e *Executor) workspaceBytes(mode Parallel, p, q, r int) int64 {
 	if mode != Sequential {
 		packWorkers = e.opts.Workers
 	}
-	return 8 * (floats + int64(packWorkers)*gemm.PackFloatsPerWorker)
+	return 8 * (floats + int64(packWorkers)*e.be.PackFloatsPerWorker())
 }
 
 // workspaceFloats counts the float64 temporaries live at once in the
@@ -429,23 +443,23 @@ func (e *Executor) multiply(ctx *runContext, ar *workspace.Arena, C, A, B *mat.D
 	if qc < q { // C11 += A12·B21
 		e.countFixup()
 		ctx.fixup(level, func(w int) {
-			gemm.MulAddParallel(c11, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, 0, q-qc, rc), w)
+			gemm.Dispatch(e.be, c11, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, 0, q-qc, rc), true, w)
 		})
 	}
 	if rc < r { // C12 = A11·B12 + A12·B22
 		e.countFixup()
 		ctx.fixup(level, func(w int) {
 			c12 := ar.View(C, 0, rc, pc, r-rc)
-			gemm.MulParallel(c12, alpha, ar.View(A, 0, 0, pc, qc), ar.View(B, 0, rc, qc, r-rc), w)
+			gemm.Dispatch(e.be, c12, alpha, ar.View(A, 0, 0, pc, qc), ar.View(B, 0, rc, qc, r-rc), false, w)
 			if qc < q {
-				gemm.MulAddParallel(c12, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, rc, q-qc, r-rc), w)
+				gemm.Dispatch(e.be, c12, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, rc, q-qc, r-rc), true, w)
 			}
 		})
 	}
 	if pc < p { // [C21 C22] = A2·B (full-width bottom strip)
 		e.countFixup()
 		ctx.fixup(level, func(w int) {
-			gemm.MulParallel(ar.View(C, pc, 0, p-pc, r), alpha, ar.View(A, pc, 0, p-pc, q), B, w)
+			gemm.Dispatch(e.be, ar.View(C, pc, 0, p-pc, r), alpha, ar.View(A, pc, 0, p-pc, q), B, false, w)
 		})
 	}
 }
@@ -460,20 +474,20 @@ func (e *Executor) leafMultiply(ctx *runContext, C, A, B *mat.Dense, alpha float
 	}
 	switch ctx.mode {
 	case Sequential:
-		gemm.MulScaled(C, alpha, A, B)
+		gemm.Dispatch(e.be, C, alpha, A, B, false, 1)
 	case DFS:
-		gemm.MulParallel(C, alpha, A, B, ctx.workers)
+		gemm.Dispatch(e.be, C, alpha, A, B, false, ctx.workers)
 	case BFS:
-		ctx.compute(func() { gemm.MulScaled(C, alpha, A, B) })
+		ctx.compute(func() { gemm.Dispatch(e.be, C, alpha, A, B, false, 1) })
 	case Hybrid:
 		if ctx.isDeferredLeaf(leafIdx) {
 			if s := e.opts.Stats; s != nil {
 				s.add(&s.DeferredLeaves, 1)
 			}
-			ctx.deferLeaf(func() { gemm.MulParallel(C, alpha, A, B, ctx.workers) })
+			ctx.deferLeaf(func() { gemm.Dispatch(e.be, C, alpha, A, B, false, ctx.workers) })
 			return
 		}
-		ctx.compute(func() { gemm.MulScaled(C, alpha, A, B) })
+		ctx.compute(func() { gemm.Dispatch(e.be, C, alpha, A, B, false, 1) })
 		ctx.leafDone(maxInt(1, e.leavesFrom(level)))
 	}
 }

@@ -151,8 +151,9 @@ func TestWorkspaceBytesOrdering(t *testing.T) {
 	}
 	// Below the recursion cutoff there is no fast-path workspace, only the
 	// gemm packing slabs.
-	if got := mk(Options{Steps: opts.Steps, Workers: 1, Parallel: Sequential}).WorkspaceBytes(1, 1, 1); got != 8*gemm.PackFloatsPerWorker {
-		t.Errorf("leaf-only estimate %d, want %d", got, 8*gemm.PackFloatsPerWorker)
+	slab := 8 * gemm.Default().PackFloatsPerWorker()
+	if got := mk(Options{Steps: opts.Steps, Workers: 1, Parallel: Sequential}).WorkspaceBytes(1, 1, 1); got != slab {
+		t.Errorf("leaf-only estimate %d, want %d", got, slab)
 	}
 }
 

@@ -1,0 +1,40 @@
+package costmodel
+
+import "testing"
+
+func TestGemmRateForPerBackendCurves(t *testing.T) {
+	ma := Machine{
+		Workers: 4,
+		Gemm: []GemmSample{
+			{N: 64, SeqGFLOPS: 1, ParGFLOPS: 3},
+			{N: 512, SeqGFLOPS: 2, ParGFLOPS: 6},
+		},
+		BackendGemm: map[string][]GemmSample{
+			"simd": {
+				{N: 64, SeqGFLOPS: 4, ParGFLOPS: 12},
+				{N: 512, SeqGFLOPS: 8, ParGFLOPS: 24},
+			},
+		},
+		AddSeqGBps: 10,
+		AddParGBps: 20,
+	}
+	if got, want := ma.GemmRateFor("", 512, 1), 2.0; got != want {
+		t.Fatalf("default curve: got %g, want %g", got, want)
+	}
+	if got, want := ma.GemmRateFor("simd", 512, 1), 8.0; got != want {
+		t.Fatalf("simd curve: got %g, want %g", got, want)
+	}
+	// Uncalibrated backends fall back to the default curve.
+	if got, want := ma.GemmRateFor("blas", 512, 1), 2.0; got != want {
+		t.Fatalf("fallback curve: got %g, want %g", got, want)
+	}
+	// A 4x faster backend predicts 4x less classical time.
+	slow := ma.ClassicalTimeFor("", 512, 512, 512, 1)
+	fast := ma.ClassicalTimeFor("simd", 512, 512, 512, 1)
+	if ratio := slow / fast; ratio < 3.99 || ratio > 4.01 {
+		t.Fatalf("classical time ratio = %g, want 4", ratio)
+	}
+	if ma.GemmRate(512, 1) != ma.GemmRateFor("", 512, 1) {
+		t.Fatal("GemmRate must be the default-backend curve")
+	}
+}

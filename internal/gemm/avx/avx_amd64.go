@@ -1,0 +1,49 @@
+//go:build amd64 && !nosimd
+
+// Package avx holds the architecture-specific half of the "simd" leaf
+// backend: the AVX2+FMA 6×8 double-precision micro-kernel and the CPUID
+// probing that decides whether it may run. It is a separate (assembly-only)
+// package so the parent gemm package stays free to use cgo for the optional
+// BLAS backend — Go forbids mixing Go assembly and cgo in one package.
+package avx
+
+// Supported reports whether this machine can run the AVX2+FMA micro-kernel:
+// the OS must save YMM state (OSXSAVE + XCR0) and the CPU must advertise
+// AVX, FMA, and AVX2.
+var Supported = detect()
+
+// Dgemm6x8 computes C[0:6, 0:8] += Ap·Bp over kb rank-1 terms, where Ap is
+// packed k-major in groups of 6 rows (ap[k*6+i]), Bp k-major in groups of 8
+// columns (bp[k*8+j]), and c points at C's tile origin with row stride ldc
+// float64s. Callers must check Supported first.
+//
+//go:noescape
+func Dgemm6x8(kb int, ap, bp, c *float64, ldc int)
+
+// cpuid executes CPUID with the given leaf/subleaf; xgetbv0 reads XCR0.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+func detect() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	// XCR0 bits 1 and 2: the OS saves XMM and YMM state on context switch.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

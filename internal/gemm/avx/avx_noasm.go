@@ -1,0 +1,15 @@
+//go:build !amd64 || nosimd
+
+// Package avx holds the architecture-specific half of the "simd" leaf
+// backend. On this build (non-amd64, or the `nosimd` tag) the assembly is
+// compiled out: Supported is false and the gemm package substitutes its
+// pure-Go 6×8 kernel, so the "simd" backend keeps working everywhere.
+package avx
+
+// Supported is false on builds without the assembly kernel.
+const Supported = false
+
+// Dgemm6x8 must never be called when Supported is false.
+func Dgemm6x8(kb int, ap, bp, c *float64, ldc int) {
+	panic("gemm/avx: Dgemm6x8 called on a build without the assembly kernel")
+}

@@ -1,0 +1,110 @@
+//go:build amd64 && !nosimd
+
+#include "textflag.h"
+
+// func Dgemm6x8(kb int, ap, bp, c *float64, ldc int)
+//
+// C[6][8] += Ap·Bp over kb rank-1 terms. Ap is in packA order (k-major
+// groups of 6 rows: ap[k*6+i]), Bp in packB order (k-major groups of 8
+// columns: bp[k*8+j]), c points at the tile origin in C with row stride ldc
+// float64s. Register plan (the canonical AVX2 dgemm tile): Y0..Y11 hold the
+// 6×8 accumulators (row i in Y(2i) cols 0..3 and Y(2i+1) cols 4..7), Y12/Y13
+// the current B row halves, Y14/Y15 two A broadcasts in flight.
+TEXT ·Dgemm6x8(SB), NOSPLIT, $0-40
+	MOVQ kb+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX            // row stride in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+loop:
+	VMOVUPD      (BX), Y12          // B[k][0:4]
+	VMOVUPD      32(BX), Y13        // B[k][4:8]
+	VBROADCASTSD (SI), Y14          // A[k][0]
+	VBROADCASTSD 8(SI), Y15         // A[k][1]
+	VFMADD231PD  Y12, Y14, Y0
+	VFMADD231PD  Y13, Y14, Y1
+	VFMADD231PD  Y12, Y15, Y2
+	VFMADD231PD  Y13, Y15, Y3
+	VBROADCASTSD 16(SI), Y14        // A[k][2]
+	VBROADCASTSD 24(SI), Y15        // A[k][3]
+	VFMADD231PD  Y12, Y14, Y4
+	VFMADD231PD  Y13, Y14, Y5
+	VFMADD231PD  Y12, Y15, Y6
+	VFMADD231PD  Y13, Y15, Y7
+	VBROADCASTSD 32(SI), Y14        // A[k][4]
+	VBROADCASTSD 40(SI), Y15        // A[k][5]
+	VFMADD231PD  Y12, Y14, Y8
+	VFMADD231PD  Y13, Y14, Y9
+	VFMADD231PD  Y12, Y15, Y10
+	VFMADD231PD  Y13, Y15, Y11
+	ADDQ         $48, SI            // 6 doubles of Ap
+	ADDQ         $64, BX            // 8 doubles of Bp
+	DECQ         CX
+	JNZ          loop
+
+	// C rows += accumulators (unaligned loads/stores: C is an arbitrary view).
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y2, Y2
+	VMOVUPD Y2, (DI)
+	VADDPD  32(DI), Y3, Y3
+	VMOVUPD Y3, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y4, Y4
+	VMOVUPD Y4, (DI)
+	VADDPD  32(DI), Y5, Y5
+	VMOVUPD Y5, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y6, Y6
+	VMOVUPD Y6, (DI)
+	VADDPD  32(DI), Y7, Y7
+	VMOVUPD Y7, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y8, Y8
+	VMOVUPD Y8, (DI)
+	VADDPD  32(DI), Y9, Y9
+	VMOVUPD Y9, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y10, Y10
+	VMOVUPD Y10, (DI)
+	VADDPD  32(DI), Y11, Y11
+	VMOVUPD Y11, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

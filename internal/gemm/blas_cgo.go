@@ -1,0 +1,46 @@
+//go:build blas && cgo
+
+package gemm
+
+/*
+#cgo LDFLAGS: -lopenblas
+#include <cblas.h>
+*/
+import "C"
+
+import "fastmm/internal/mat"
+
+// blasBackend bridges the leaf kernel to a vendor cblas_dgemm (OpenBLAS's
+// cblas.h/-lopenblas; build with `-tags blas`). This is the configuration
+// the paper actually measures — its experiments bottom out in MKL — and the
+// ceiling the Go kernels are judged against.
+//
+// The worker request is ignored: a vendor BLAS manages its own thread pool
+// (OPENBLAS_NUM_THREADS / OMP_NUM_THREADS). The calibration measures
+// whatever that pool delivers, so the tuner's predictions stay honest; run
+// a single-threaded BLAS when the framework's schedulers should own all
+// parallelism.
+type blasBackend struct{}
+
+func init() { Register(blasBackend{}) }
+
+func (blasBackend) Name() string               { return "blas" }
+func (blasBackend) Accelerated() bool          { return true }
+func (blasBackend) PackFloatsPerWorker() int64 { return 0 }    // vendor-managed workspace
+func (blasBackend) WorkerAgnostic() bool       { return true } // vendor-managed threading
+
+func (blasBackend) Gemm(dst *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers int) {
+	_ = workers
+	beta := 0.0
+	if accumulate {
+		beta = 1.0
+	}
+	m, k, n := A.Rows(), A.Cols(), B.Cols()
+	C.cblas_dgemm(C.CblasRowMajor, C.CblasNoTrans, C.CblasNoTrans,
+		C.blasint(m), C.blasint(n), C.blasint(k),
+		C.double(alpha),
+		(*C.double)(&A.Data()[0]), C.blasint(A.Stride()),
+		(*C.double)(&B.Data()[0]), C.blasint(B.Stride()),
+		C.double(beta),
+		(*C.double)(&dst.Data()[0]), C.blasint(dst.Stride()))
+}

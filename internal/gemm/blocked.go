@@ -1,0 +1,196 @@
+package gemm
+
+import (
+	"fmt"
+	"sync"
+
+	"fastmm/internal/mat"
+)
+
+// maxMR/maxNR bound the micro-tile dims a blocked backend may use (the
+// generic edge kernel carries a maxMR×maxNR scratch tile on its stack).
+const (
+	maxMR = 8
+	maxNR = 8
+)
+
+// microKernelFunc computes a full mr×nr tile of C at (i0, j0):
+// C[i0:i0+mr, j0:j0+nr] += Ap·Bp over kb rank-1 terms, with Ap and Bp in the
+// packed micro-panel layouts produced by packA/packB.
+type microKernelFunc func(C *mat.Dense, i0, j0, kb int, ap, bp []float64)
+
+// blockedBackend is the shared GotoBLAS/BLIS-structured engine: everything —
+// panel blocking, packing, slab parallelism, edge handling — is generic, and
+// only the full-tile micro-kernel (plus its MR×NR shape) differs per backend,
+// the BLIS thesis applied to this repository.
+type blockedBackend struct {
+	name         string
+	accel        bool
+	mr, nr       int
+	kern         microKernelFunc
+	apLen, bpLen int // packing-slab sizes in float64s
+	pool         sync.Pool
+}
+
+// newBlocked builds a blocked backend around one micro-kernel. The packing
+// slabs are sized for the worst-case panel (mc and nc rounded up to whole
+// micro-tiles), so any mr/nr ≤ maxMR/maxNR works with the shared blocking
+// parameters.
+func newBlocked(name string, accel bool, mr, nr int, kern microKernelFunc) *blockedBackend {
+	if mr < 1 || nr < 1 || mr > maxMR || nr > maxNR {
+		panic(fmt.Sprintf("gemm: micro-tile %d×%d outside supported 1..%d×1..%d", mr, nr, maxMR, maxNR))
+	}
+	bk := &blockedBackend{
+		name:  name,
+		accel: accel,
+		mr:    mr,
+		nr:    nr,
+		kern:  kern,
+		apLen: ((mc + mr - 1) / mr) * mr * kc,
+		bpLen: kc * ((nc + nr - 1) / nr) * nr,
+	}
+	// Pooling pointers (not bare slices) keeps steady-state Get/Put
+	// allocation-free — storing a []float64 in the pool's `any` would box a
+	// fresh slice header on every Put.
+	bk.pool.New = func() any {
+		return &packBufs{a: make([]float64, bk.apLen), b: make([]float64, bk.bpLen)}
+	}
+	return bk
+}
+
+// packBufs is one worker's packing slab: the A and B panel buffers together,
+// so a gemm call costs a single pool round-trip.
+type packBufs struct{ a, b []float64 }
+
+func (bk *blockedBackend) Name() string               { return bk.name }
+func (bk *blockedBackend) Accelerated() bool          { return bk.accel }
+func (bk *blockedBackend) PackFloatsPerWorker() int64 { return int64(bk.apLen + bk.bpLen) }
+
+func (bk *blockedBackend) Gemm(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers int) {
+	if workers == 1 {
+		bk.gemmSeq(C, alpha, A, B, accumulate)
+		return
+	}
+	parallelSlabs(C, alpha, A, B, accumulate, workers, bk.mr, bk.nr, bk.gemmSeq)
+}
+
+func (bk *blockedBackend) gemmSeq(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool) {
+	m, k, n := A.Rows(), A.Cols(), B.Cols()
+	if m <= naiveMax && n <= naiveMax && k <= naiveMax {
+		small(C, alpha, A, B, accumulate)
+		return
+	}
+	if !accumulate {
+		C.Zero()
+	}
+	pb := bk.pool.Get().(*packBufs)
+	ap, bp := pb.a, pb.b
+	defer bk.pool.Put(pb)
+
+	for pc := 0; pc < k; pc += kc {
+		kb := min(kc, k-pc)
+		for jc := 0; jc < n; jc += nc {
+			nb := min(nc, n-jc)
+			packB(bp, B, pc, jc, kb, nb, bk.nr)
+			for ic := 0; ic < m; ic += mc {
+				mb := min(mc, m-ic)
+				packA(ap, A, ic, pc, mb, kb, bk.mr, alpha)
+				bk.macroKernel(C, ic, jc, mb, nb, kb, ap, bp)
+			}
+		}
+	}
+}
+
+// packA packs the mb×kb panel of A at (ic, pc) into ap, scaled by alpha, in
+// micro-panel order: for each group of mr rows, the kb columns are stored
+// k-major ([k*mr + i]), zero-padded to a multiple of mr rows.
+func packA(ap []float64, A *mat.Dense, ic, pc, mb, kb, mr int, alpha float64) {
+	idx := 0
+	for ir := 0; ir < mb; ir += mr {
+		rows := min(mr, mb-ir)
+		for i := 0; i < rows; i++ {
+			src := A.Row(ic + ir + i)[pc : pc+kb]
+			dst := ap[idx+i:]
+			for kk, v := range src {
+				dst[kk*mr] = alpha * v
+			}
+		}
+		for i := rows; i < mr; i++ {
+			dst := ap[idx+i:]
+			for kk := 0; kk < kb; kk++ {
+				dst[kk*mr] = 0
+			}
+		}
+		idx += mr * kb
+	}
+}
+
+// packB packs the kb×nb panel of B at (pc, jc) into bp in micro-panel order:
+// for each group of nr columns, the kb rows are stored k-major
+// ([k*nr + j]), zero-padded to a multiple of nr columns.
+func packB(bp []float64, B *mat.Dense, pc, jc, kb, nb, nr int) {
+	idx := 0
+	for jr := 0; jr < nb; jr += nr {
+		cols := min(nr, nb-jr)
+		for kk := 0; kk < kb; kk++ {
+			src := B.Row(pc + kk)
+			dst := bp[idx+kk*nr : idx+kk*nr+nr]
+			for j := 0; j < cols; j++ {
+				dst[j] = src[jc+jr+j]
+			}
+			for j := cols; j < nr; j++ {
+				dst[j] = 0
+			}
+		}
+		idx += nr * kb
+	}
+}
+
+// macroKernel multiplies the packed mb×kb A panel by the packed kb×nb B
+// panel, accumulating into C at (ic, jc). Full tiles go to the backend's
+// micro-kernel; border tiles to the generic edge kernel.
+func (bk *blockedBackend) macroKernel(C *mat.Dense, ic, jc, mb, nb, kb int, ap, bp []float64) {
+	mr, nr := bk.mr, bk.nr
+	for jr := 0; jr < nb; jr += nr {
+		cols := min(nr, nb-jr)
+		bpanel := bp[(jr/nr)*nr*kb:]
+		for ir := 0; ir < mb; ir += mr {
+			rows := min(mr, mb-ir)
+			apanel := ap[(ir/mr)*mr*kb:]
+			if rows == mr && cols == nr {
+				bk.kern(C, ic+ir, jc+jr, kb, apanel, bpanel)
+			} else {
+				microKernelEdge(C, ic+ir, jc+jr, rows, cols, kb, mr, nr, apanel, bpanel)
+			}
+		}
+	}
+}
+
+// microKernelEdge handles partial tiles at the right/bottom borders for any
+// mr×nr ≤ maxMR×maxNR. The packed panels are zero-padded, so it can
+// accumulate into a full mr×nr scratch tile and copy out only the valid
+// portion.
+func microKernelEdge(C *mat.Dense, i0, j0, rows, cols, kb, mr, nr int, ap, bp []float64) {
+	var acc [maxMR * maxNR]float64
+	a := ap[: kb*mr : kb*mr]
+	b := bp[: kb*nr : kb*nr]
+	for k := 0; k < kb; k++ {
+		for i := 0; i < mr; i++ {
+			ai := a[k*mr+i]
+			if ai == 0 {
+				continue
+			}
+			bk := b[k*nr : k*nr+nr : k*nr+nr]
+			row := acc[i*nr : i*nr+nr : i*nr+nr]
+			for j, bv := range bk {
+				row[j] += ai * bv
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		ci := C.Row(i0 + i)
+		for j := 0; j < cols; j++ {
+			ci[j0+j] += acc[i*nr+j]
+		}
+	}
+}

@@ -1,31 +1,54 @@
-// Package gemm is the repository's classical matrix-multiplication kernel —
+// Package gemm is the repository's classical matrix-multiplication layer —
 // the stand-in for the vendor dgemm (Intel MKL) used throughout Benson &
 // Ballard. Fast algorithms call it at the base case of their recursion, and
 // it is also the classical baseline every experiment compares against.
 //
-// The implementation follows the usual GotoBLAS/BLIS structure scaled down to
-// portable Go: the operands are partitioned into cache-sized panels, panels
-// are packed into contiguous buffers, and a register-blocked micro-kernel
-// computes MR×NR tiles of C. A goroutine pool parallelizes over row (or
-// column) slabs of C. Absolute throughput is of course below a vendor BLAS,
-// but the performance *shape* — a ramp-up phase followed by a flat region,
+// Since the paper's central empirical lesson is that the best configuration
+// depends on the measured leaf throughput, the leaf kernel is pluggable: a
+// Backend is one kernel implementation, and the package keeps a registry of
+// them (following the BLIS observation — Van Zee & van de Geijn — that only
+// the micro-kernel needs to be architecture-specific):
+//
+//   - "portable": the pure-Go blocked kernel with an 8×4 register-tiled
+//     micro-kernel. Always registered, runs everywhere.
+//   - "simd": the same blocked structure with a wider 6×8 micro-kernel that
+//     maps onto AVX2 FMA lanes (Go assembly on amd64; a pure-Go 6×8 fallback
+//     on other architectures or under the `nosimd` build tag).
+//   - "blas": a cgo bridge to a vendor cblas_dgemm, only compiled under the
+//     `blas` build tag.
+//
+// The blocked backends follow the usual GotoBLAS/BLIS structure: the
+// operands are partitioned into cache-sized panels, panels are packed into
+// contiguous buffers, and a register-blocked micro-kernel computes MR×NR
+// tiles of C. A goroutine pool parallelizes over row (or column) slabs of C.
+// The performance *shape* — a ramp-up phase followed by a flat region,
 // higher flat rate for square than for skinny shapes — matches Figure 3 of
-// the paper, which is what the framework's recursion-cutoff logic depends on.
+// the paper, which is what the framework's recursion-cutoff logic depends
+// on; the autotuner calibrates one such curve per backend and picks the leaf
+// backend per shape like any other candidate dimension.
+//
+// The package-level Mul/MulAdd/... entry points dispatch to Default(), the
+// best backend available on this machine (override with FASTMM_BACKEND or
+// SetDefault).
+//
+// Worker contract: the requested worker count is honored as given — the
+// kernel no longer silently clamps it to GOMAXPROCS. Budgeting parallelism
+// is the caller's job (the executor, tuner, and batcher all size widths from
+// one explicit Workers budget and account for every goroutine they request);
+// a silent clamp here would make those budgets lie.
 package gemm
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"fastmm/internal/mat"
 )
 
-// Blocking parameters. MR×NR is the micro-kernel tile; KC/MC/NC are the
-// panel sizes for the L1/L2/L3 levels of the memory hierarchy.
+// Blocking parameters shared by the blocked backends. KC/MC/NC are the panel
+// sizes for the L1/L2/L3 levels of the memory hierarchy; each backend brings
+// its own MR×NR micro-kernel tile.
 const (
-	mr = 8
-	nr = 4
 	kc = 256
 	mc = 128
 	nc = 2048
@@ -35,28 +58,57 @@ const (
 // path (packing overhead dominates tiny problems).
 const naiveMax = 48
 
-// Mul computes C = A·B sequentially. C must be M×N for A M×K, B K×N.
-func Mul(C, A, B *mat.Dense) { gemm(C, 1, A, B, false, 1) }
+// Mul computes C = A·B sequentially with the default backend. C must be M×N
+// for A M×K, B K×N.
+func Mul(C, A, B *mat.Dense) { Dispatch(Default(), C, 1, A, B, false, 1) }
 
 // MulAdd computes C += A·B sequentially.
-func MulAdd(C, A, B *mat.Dense) { gemm(C, 1, A, B, true, 1) }
+func MulAdd(C, A, B *mat.Dense) { Dispatch(Default(), C, 1, A, B, true, 1) }
 
 // MulScaled computes C = alpha·A·B sequentially. The fast-algorithm executor
 // uses alpha to pipe scalar factors through to the base case instead of
 // materializing scaled temporaries (§3.1).
-func MulScaled(C *mat.Dense, alpha float64, A, B *mat.Dense) { gemm(C, alpha, A, B, false, 1) }
+func MulScaled(C *mat.Dense, alpha float64, A, B *mat.Dense) {
+	Dispatch(Default(), C, alpha, A, B, false, 1)
+}
 
 // MulAddScaled computes C += alpha·A·B sequentially.
-func MulAddScaled(C *mat.Dense, alpha float64, A, B *mat.Dense) { gemm(C, alpha, A, B, true, 1) }
+func MulAddScaled(C *mat.Dense, alpha float64, A, B *mat.Dense) {
+	Dispatch(Default(), C, alpha, A, B, true, 1)
+}
 
-// MulParallel computes C = alpha·A·B using up to workers goroutines.
+// MulParallel computes C = alpha·A·B using up to workers goroutines. The
+// requested count is honored (see the package comment's worker contract).
 func MulParallel(C *mat.Dense, alpha float64, A, B *mat.Dense, workers int) {
-	gemm(C, alpha, A, B, false, workers)
+	Dispatch(Default(), C, alpha, A, B, false, workers)
 }
 
 // MulAddParallel computes C += alpha·A·B using up to workers goroutines.
 func MulAddParallel(C *mat.Dense, alpha float64, A, B *mat.Dense, workers int) {
-	gemm(C, alpha, A, B, true, workers)
+	Dispatch(Default(), C, alpha, A, B, true, workers)
+}
+
+// Dispatch computes C (+)= alpha·A·B through one backend: it validates
+// dimensions, strips the degenerate cases every backend would otherwise
+// re-handle, and hands the non-empty problem to be.Gemm. It is the single
+// entry point the execution layers (core, tuner, batch) call with their
+// chosen backend.
+func Dispatch(be Backend, C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers int) {
+	checkDims(C, A, B)
+	m, k, n := A.Rows(), A.Cols(), B.Cols()
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		if !accumulate {
+			C.Zero()
+		}
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	be.Gemm(C, alpha, A, B, accumulate, workers)
 }
 
 // Naive is the unblocked reference implementation (C = A·B), used by tests as
@@ -90,32 +142,14 @@ func checkDims(C, A, B *mat.Dense) {
 	}
 }
 
-func gemm(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers int) {
-	checkDims(C, A, B)
+// parallelSlabs decomposes C = alpha·A·B over independent slabs of C and runs
+// seq on each with its own goroutine: prefer splitting rows; when the matrix
+// is wide and short, split columns instead. Each slab is an independent
+// sequential gemm, so no reductions are needed. mr/nr are the micro-tile
+// dims used as minimum-useful slab heights/widths.
+func parallelSlabs(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers, mr, nr int,
+	seq func(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool)) {
 	m, k, n := A.Rows(), A.Cols(), B.Cols()
-	if m == 0 || n == 0 {
-		return
-	}
-	if k == 0 || alpha == 0 {
-		if !accumulate {
-			C.Zero()
-		}
-		return
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 {
-		gemmSeq(C, alpha, A, B, accumulate)
-		return
-	}
-
-	// Parallel decomposition over independent slabs of C: prefer splitting
-	// rows; when the matrix is wide and short, split columns instead. Each
-	// slab is an independent sequential gemm, so no reductions are needed.
 	type slab struct{ c, a, b *mat.Dense }
 	var slabs []slab
 	if m >= n && m >= 2*mr {
@@ -129,7 +163,7 @@ func gemm(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers
 			slabs = append(slabs, slab{C.View(0, r.lo, m, r.n), A, B.View(0, r.lo, k, r.n)})
 		}
 	} else {
-		gemmSeq(C, alpha, A, B, accumulate)
+		seq(C, alpha, A, B, accumulate)
 		return
 	}
 	var wg sync.WaitGroup
@@ -137,7 +171,7 @@ func gemm(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers
 		wg.Add(1)
 		go func(s slab) {
 			defer wg.Done()
-			gemmSeq(s.c, alpha, s.a, s.b, accumulate)
+			seq(s.c, alpha, s.a, s.b, accumulate)
 		}(s)
 	}
 	wg.Wait()
@@ -162,48 +196,6 @@ func ranges(total, nchunks int) []span {
 	return out
 }
 
-// PackFloatsPerWorker is the float64 count of one worker's packing slab —
-// the gemm kernel's contribution to a scheduler's workspace footprint
-// (consumed by the executor's WorkspaceBytes accounting).
-const PackFloatsPerWorker = mc*kc + kc*nc
-
-// packBufs is one worker's packing slab: the A and B panel buffers together,
-// so a gemm call costs a single pool round-trip. Pooling pointers (not bare
-// slices) keeps steady-state Get/Put allocation-free — storing a []float64
-// in the pool's `any` would box a fresh slice header on every Put.
-type packBufs struct{ a, b []float64 }
-
-var packPool = sync.Pool{New: func() any {
-	return &packBufs{a: make([]float64, mc*kc), b: make([]float64, kc*nc)}
-}}
-
-func gemmSeq(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool) {
-	m, k, n := A.Rows(), A.Cols(), B.Cols()
-	if m <= naiveMax && n <= naiveMax && k <= naiveMax {
-		small(C, alpha, A, B, accumulate)
-		return
-	}
-	if !accumulate {
-		C.Zero()
-	}
-	pb := packPool.Get().(*packBufs)
-	ap, bp := pb.a, pb.b
-	defer packPool.Put(pb)
-
-	for pc := 0; pc < k; pc += kc {
-		kb := min(kc, k-pc)
-		for jc := 0; jc < n; jc += nc {
-			nb := min(nc, n-jc)
-			packB(bp, B, pc, jc, kb, nb)
-			for ic := 0; ic < m; ic += mc {
-				mb := min(mc, m-ic)
-				packA(ap, A, ic, pc, mb, kb, alpha)
-				macroKernel(C, ic, jc, mb, nb, kb, ap, bp)
-			}
-		}
-	}
-}
-
 // small computes C (+)= alpha·A·B with a cache-friendly i-p-j loop; used for
 // problems too small to amortize packing.
 func small(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool) {
@@ -225,170 +217,6 @@ func small(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool) {
 			for j, bv := range bp {
 				ci[j] += aip * bv
 			}
-		}
-	}
-}
-
-// packA packs the mb×kb panel of A at (ic, pc) into ap, scaled by alpha, in
-// micro-panel order: for each group of mr rows, the kb columns are stored
-// k-major ([k*mr + i]), zero-padded to a multiple of mr rows.
-func packA(ap []float64, A *mat.Dense, ic, pc, mb, kb int, alpha float64) {
-	idx := 0
-	for ir := 0; ir < mb; ir += mr {
-		rows := min(mr, mb-ir)
-		for i := 0; i < rows; i++ {
-			src := A.Row(ic + ir + i)[pc : pc+kb]
-			dst := ap[idx+i:]
-			for kk, v := range src {
-				dst[kk*mr] = alpha * v
-			}
-		}
-		for i := rows; i < mr; i++ {
-			dst := ap[idx+i:]
-			for kk := 0; kk < kb; kk++ {
-				dst[kk*mr] = 0
-			}
-		}
-		idx += mr * kb
-	}
-}
-
-// packB packs the kb×nb panel of B at (pc, jc) into bp in micro-panel order:
-// for each group of nr columns, the kb rows are stored k-major
-// ([k*nr + j]), zero-padded to a multiple of nr columns.
-func packB(bp []float64, B *mat.Dense, pc, jc, kb, nb int) {
-	idx := 0
-	for jr := 0; jr < nb; jr += nr {
-		cols := min(nr, nb-jr)
-		for kk := 0; kk < kb; kk++ {
-			src := B.Row(pc + kk)
-			dst := bp[idx+kk*nr : idx+kk*nr+nr]
-			for j := 0; j < cols; j++ {
-				dst[j] = src[jc+jr+j]
-			}
-			for j := cols; j < nr; j++ {
-				dst[j] = 0
-			}
-		}
-		idx += nr * kb
-	}
-}
-
-// macroKernel multiplies the packed mb×kb A panel by the packed kb×nb B
-// panel, accumulating into C at (ic, jc).
-func macroKernel(C *mat.Dense, ic, jc, mb, nb, kb int, ap, bp []float64) {
-	for jr := 0; jr < nb; jr += nr {
-		cols := min(nr, nb-jr)
-		bpanel := bp[(jr/nr)*nr*kb:]
-		for ir := 0; ir < mb; ir += mr {
-			rows := min(mr, mb-ir)
-			apanel := ap[(ir/mr)*mr*kb:]
-			if rows == mr && cols == nr {
-				microKernel(C, ic+ir, jc+jr, kb, apanel, bpanel)
-			} else {
-				microKernelEdge(C, ic+ir, jc+jr, rows, cols, kb, apanel, bpanel)
-			}
-		}
-	}
-}
-
-// microKernel computes a full mr×nr (8×4) tile: C[i0:i0+8, j0:j0+4] += Ap·Bp
-// over kb terms. Thirty-two scalar accumulators keep the tile in registers.
-func microKernel(C *mat.Dense, i0, j0, kb int, ap, bp []float64) {
-	var (
-		c00, c01, c02, c03 float64
-		c10, c11, c12, c13 float64
-		c20, c21, c22, c23 float64
-		c30, c31, c32, c33 float64
-		c40, c41, c42, c43 float64
-		c50, c51, c52, c53 float64
-		c60, c61, c62, c63 float64
-		c70, c71, c72, c73 float64
-	)
-	a := ap[: kb*mr : kb*mr]
-	b := bp[: kb*nr : kb*nr]
-	for k := 0; k < kb; k++ {
-		b0, b1, b2, b3 := b[k*nr], b[k*nr+1], b[k*nr+2], b[k*nr+3]
-		a0 := a[k*mr]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		a1 := a[k*mr+1]
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		a2 := a[k*mr+2]
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		a3 := a[k*mr+3]
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
-		a4 := a[k*mr+4]
-		c40 += a4 * b0
-		c41 += a4 * b1
-		c42 += a4 * b2
-		c43 += a4 * b3
-		a5 := a[k*mr+5]
-		c50 += a5 * b0
-		c51 += a5 * b1
-		c52 += a5 * b2
-		c53 += a5 * b3
-		a6 := a[k*mr+6]
-		c60 += a6 * b0
-		c61 += a6 * b1
-		c62 += a6 * b2
-		c63 += a6 * b3
-		a7 := a[k*mr+7]
-		c70 += a7 * b0
-		c71 += a7 * b1
-		c72 += a7 * b2
-		c73 += a7 * b3
-	}
-	add := func(i int, v0, v1, v2, v3 float64) {
-		row := C.Row(i0 + i)[j0 : j0+4 : j0+4]
-		row[0] += v0
-		row[1] += v1
-		row[2] += v2
-		row[3] += v3
-	}
-	add(0, c00, c01, c02, c03)
-	add(1, c10, c11, c12, c13)
-	add(2, c20, c21, c22, c23)
-	add(3, c30, c31, c32, c33)
-	add(4, c40, c41, c42, c43)
-	add(5, c50, c51, c52, c53)
-	add(6, c60, c61, c62, c63)
-	add(7, c70, c71, c72, c73)
-}
-
-// microKernelEdge handles partial tiles at the right/bottom borders. The
-// packed panels are zero-padded, so it can accumulate into a full mr×nr
-// scratch tile and copy out only the valid portion.
-func microKernelEdge(C *mat.Dense, i0, j0, rows, cols, kb int, ap, bp []float64) {
-	var acc [mr][nr]float64
-	a := ap[: kb*mr : kb*mr]
-	b := bp[: kb*nr : kb*nr]
-	for k := 0; k < kb; k++ {
-		for i := 0; i < mr; i++ {
-			ai := a[k*mr+i]
-			if ai == 0 {
-				continue
-			}
-			for j := 0; j < nr; j++ {
-				acc[i][j] += ai * b[k*nr+j]
-			}
-		}
-	}
-	for i := 0; i < rows; i++ {
-		ci := C.Row(i0 + i)
-		for j := 0; j < cols; j++ {
-			ci[j0+j] += acc[i][j]
 		}
 	}
 }

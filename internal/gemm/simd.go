@@ -1,0 +1,32 @@
+package gemm
+
+import (
+	"fastmm/internal/gemm/avx"
+	"fastmm/internal/mat"
+)
+
+// simdKernel is the 6×8 micro-kernel this build/machine selected.
+var simdKernel = pickSIMDKernel()
+
+func init() {
+	Register(newBlocked("simd", avx.Supported, 6, 8, simdKernel))
+}
+
+// pickSIMDKernel selects the 6×8 micro-kernel implementation: the AVX2+FMA
+// assembly when the build and the hardware allow it, the pure-Go rendering
+// of the same tile otherwise (non-amd64, the `nosimd` build tag, or a CPU
+// without AVX2/FMA/OS-YMM support).
+func pickSIMDKernel() microKernelFunc {
+	if avx.Supported {
+		return microKernel6x8asm
+	}
+	return microKernel6x8go
+}
+
+// microKernel6x8asm adapts the packed-panel call onto the assembly kernel:
+// the tile's top-left element address plus the row stride is all the asm
+// needs to accumulate straight into C.
+func microKernel6x8asm(C *mat.Dense, i0, j0, kb int, ap, bp []float64) {
+	d := C.Data()
+	avx.Dgemm6x8(kb, &ap[0], &bp[0], &d[i0*C.Stride()+j0], C.Stride())
+}

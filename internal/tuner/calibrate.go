@@ -17,7 +17,10 @@ import (
 
 // ProfileVersion invalidates persisted calibrations (and tuning-cache keys)
 // when the measurement protocol or the time model changes shape.
-const ProfileVersion = 1
+// v2: one gemm curve per leaf-kernel backend (Machine.BackendGemm) and the
+// backend as a tuning dimension — v1 caches and profiles are retired cleanly
+// because both the cache-key prefix and the profile fingerprint change.
+const ProfileVersion = 2
 
 // Profile is a one-time machine calibration: the measured gemm throughput
 // curve and addition bandwidth that parameterize the cost model's time
@@ -60,10 +63,10 @@ func (p *Profile) Fingerprint() string {
 
 // Calibrate measures the machine: classical-gemm GFLOPS at a few square
 // block sizes (sequentially and at the given worker count — the two
-// endpoints the time model interpolates between) and the STREAM-add
-// bandwidth the matrix additions run at. quick shrinks the protocol to
-// smoke-test cost (~100ms) for first-use auto-calibration and tests; the
-// full protocol is what cmd/fmmtune calibrate runs.
+// endpoints the time model interpolates between) for every registered leaf
+// backend, and the STREAM-add bandwidth the matrix additions run at. quick
+// shrinks the protocol to smoke-test cost for first-use auto-calibration and
+// tests; the full protocol is what cmd/fmmtune calibrate runs.
 func Calibrate(workers int, quick bool) *Profile {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -77,24 +80,36 @@ func Calibrate(workers int, quick bool) *Profile {
 		streamN = 1 << 20
 	}
 
-	ma := costmodel.Machine{Workers: workers}
+	ma := costmodel.Machine{Workers: workers, BackendGemm: map[string][]costmodel.GemmSample{}}
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range sizes {
 		A, B, C := mat.New(n, n), mat.New(n, n), mat.New(n, n)
 		A.FillRandom(rng)
 		B.FillRandom(rng)
 		flops := 2*float64(n)*float64(n)*float64(n) - float64(n)*float64(n)
-		seq := bestTime(trials, func() { gemm.Mul(C, A, B) })
-		par := seq
-		if workers > 1 {
-			par = bestTime(trials, func() { gemm.MulParallel(C, 1, A, B, workers) })
+		for _, name := range gemm.Names() {
+			be, err := gemm.Get(name)
+			if err != nil {
+				continue
+			}
+			seq := bestTime(trials, func() { gemm.Dispatch(be, C, 1, A, B, false, 1) })
+			par := seq
+			// Worker-agnostic backends (blas) would make the parallel pass
+			// re-time the identical call — their curve is flat by contract.
+			if workers > 1 && !gemm.WorkerAgnostic(be) {
+				par = bestTime(trials, func() { gemm.Dispatch(be, C, 1, A, B, false, workers) })
+			}
+			ma.BackendGemm[name] = append(ma.BackendGemm[name], costmodel.GemmSample{
+				N:         n,
+				SeqGFLOPS: flops / seq / 1e9,
+				ParGFLOPS: flops / par / 1e9,
+			})
 		}
-		ma.Gemm = append(ma.Gemm, costmodel.GemmSample{
-			N:         n,
-			SeqGFLOPS: flops / seq / 1e9,
-			ParGFLOPS: flops / par / 1e9,
-		})
 	}
+	// The plain Gemm curve stays the default backend's — what the
+	// package-level gemm entry points (and any caller that names no
+	// backend) actually run.
+	ma.Gemm = ma.BackendGemm[gemm.Default().Name()]
 
 	ma.AddSeqGBps = stream.Run(stream.Add, streamN, 1, trials).GBps
 	ma.AddParGBps = ma.AddSeqGBps

@@ -97,6 +97,13 @@ type Options struct {
 	// whole catalog minus the classical decompositions, which the direct
 	// gemm baseline already covers).
 	Algorithms []string
+	// Backends restricts the leaf-kernel backends enumerated as a candidate
+	// dimension (default: every registered gemm backend). Each candidate
+	// (algorithm × steps × scheduler × strategy) is ranked once per backend
+	// against that backend's calibrated gemm curve, and the classical
+	// baseline exists per backend too — the tuner picks the leaf kernel the
+	// same way it picks everything else. Unknown names fail New.
+	Backends []string
 	// Strategies restricts the addition strategies considered (default
 	// write-once and streaming — §3.2's two winners).
 	Strategies []addchain.Strategy
@@ -136,6 +143,9 @@ func (o Options) withDefaults() Options {
 	if len(o.Strategies) == 0 {
 		o.Strategies = []addchain.Strategy{addchain.WriteOnce, addchain.Streaming}
 	}
+	if len(o.Backends) == 0 {
+		o.Backends = gemm.Names()
+	}
 	return o
 }
 
@@ -152,6 +162,9 @@ type Plan struct {
 	Algorithm string `json:"algorithm"`
 	// Steps is the recursion depth (0 for classical).
 	Steps int `json:"steps,omitempty"`
+	// Backend is the leaf-kernel backend the plan's base-case gemm calls
+	// run on (a gemm.Backend name; "" means the default backend).
+	Backend string `json:"backend,omitempty"`
 	// Parallel and Strategy are the scheduler and addition strategy, by
 	// their String() names (human-readable in the JSON cache).
 	Parallel string `json:"parallel"`
@@ -172,15 +185,20 @@ type Plan struct {
 func (p Plan) IsClassical() bool { return p.Algorithm == ClassicalAlgorithm }
 
 func (p Plan) String() string {
-	if p.IsClassical() {
-		return fmt.Sprintf("classical/%dw", p.Workers)
+	be := ""
+	if p.Backend != "" {
+		be = "/" + p.Backend
 	}
-	return fmt.Sprintf("%s/s%d/%s/%s/%dw", p.Algorithm, p.Steps, p.Parallel, p.Strategy, p.Workers)
+	if p.IsClassical() {
+		return fmt.Sprintf("classical/%dw%s", p.Workers, be)
+	}
+	return fmt.Sprintf("%s/s%d/%s/%s/%dw%s", p.Algorithm, p.Steps, p.Parallel, p.Strategy, p.Workers, be)
 }
 
-// decision is a plan bound to its runnable executor.
+// decision is a plan bound to its runnable executor and resolved backend.
 type decision struct {
 	plan Plan
+	be   gemm.Backend   // the plan's leaf backend, resolved at build time
 	exec *core.Executor // nil for classical
 }
 
@@ -192,11 +210,7 @@ func (d *decision) multiply(C, A, B *mat.Dense) error {
 		return fmt.Errorf("tuner: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
 			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
 	}
-	if d.plan.Workers > 1 {
-		gemm.MulParallel(C, 1, A, B, d.plan.Workers)
-	} else {
-		gemm.Mul(C, A, B)
-	}
+	gemm.Dispatch(d.be, C, 1, A, B, false, d.plan.Workers)
 	return nil
 }
 
@@ -231,6 +245,11 @@ type modelKey struct {
 // persisted profile, a fresh quick calibration (persisted best-effort).
 func New(opts Options) (*Tuner, error) {
 	opts = opts.withDefaults()
+	for _, name := range opts.Backends {
+		if _, err := gemm.Get(name); err != nil {
+			return nil, fmt.Errorf("tuner: %w", err)
+		}
+	}
 	t := &Tuner{
 		opts:   opts,
 		lru:    newLRU(lruSize),
@@ -367,6 +386,10 @@ func (t *Tuner) makeKeySuffix() string {
 	for _, s := range t.opts.Strategies {
 		fmt.Fprintf(h, "%d,", int(s))
 	}
+	for _, name := range t.opts.Backends {
+		h.Write([]byte("be:" + name))
+		h.Write([]byte{0})
+	}
 	// ProbeBudget enters only when set, so default-policy tuners keep the
 	// cache keys (and persisted entries) of earlier versions.
 	budget := ""
@@ -431,26 +454,36 @@ func (t *Tuner) remember(key string, d *decision, persist bool) {
 	_ = saveEntries(snapshot)
 }
 
-// Rank enumerates the candidate plans for a shape and sorts them by
-// predicted time (fastest first), workspace-cap survivors only. The
-// classical baseline is always present, so the result is never empty.
+// Rank enumerates the candidate plans for a shape — every leaf backend ×
+// (classical baseline + algorithm × steps × scheduler × strategy) — and
+// sorts them by predicted time (fastest first), workspace-cap survivors
+// only. A classical baseline is always present, so the result is never
+// empty.
 func (t *Tuner) Rank(m, k, n int) ([]Plan, error) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return nil, fmt.Errorf("tuner: invalid shape %d×%d×%d", m, k, n)
 	}
 	ma := t.prof.Machine
-	plans := []Plan{t.classicalPlan(m, k, n)}
+	var plans []Plan
+	for _, backend := range t.opts.Backends {
+		be, err := gemm.Get(backend)
+		if err != nil {
+			continue // validated in New; a racing re-Register never panics
+		}
+		plans = append(plans, t.classicalPlan(m, k, n, be))
 
-	// Below the recursion cutoff no fast algorithm is worth its additions;
-	// guarantee classical rather than trusting the model at sizes the
-	// calibration barely covers.
-	if maxInt3(m, k, n) >= t.opts.MinDim {
+		// Below the recursion cutoff no fast algorithm is worth its
+		// additions; guarantee classical rather than trusting the model at
+		// sizes the calibration barely covers.
+		if maxInt3(m, k, n) < t.opts.MinDim {
+			continue
+		}
 		for _, name := range t.opts.Algorithms {
 			a, err := catalog.GetVerified(name)
 			if err != nil {
 				continue // unknown or unverifiable entries never panic the tuner
 			}
-			plans = append(plans, t.algorithmPlans(a, m, k, n, ma)...)
+			plans = append(plans, t.algorithmPlans(a, m, k, n, ma, be)...)
 		}
 	}
 
@@ -460,10 +493,10 @@ func (t *Tuner) Rank(m, k, n int) ([]Plan, error) {
 	return plans, nil
 }
 
-func (t *Tuner) classicalPlan(m, k, n int) Plan {
+func (t *Tuner) classicalPlan(m, k, n int, be gemm.Backend) Plan {
 	workers := t.opts.Workers
-	slab := int64(8 * gemm.PackFloatsPerWorker)
-	if cap := t.opts.Workspace; cap > 0 && int64(workers)*slab > cap {
+	slab := 8 * be.PackFloatsPerWorker()
+	if cap := t.opts.Workspace; cap > 0 && slab > 0 && int64(workers)*slab > cap {
 		// Degrade parallelism until the packing slabs fit; one worker's
 		// slab is the floor below which gemm cannot go.
 		workers = int(cap / slab)
@@ -477,10 +510,11 @@ func (t *Tuner) classicalPlan(m, k, n int) Plan {
 	}
 	return Plan{
 		Algorithm:        ClassicalAlgorithm,
+		Backend:          be.Name(),
 		Parallel:         parallel,
 		Workers:          workers,
 		WorkspaceBytes:   int64(workers) * slab,
-		PredictedSeconds: t.prof.Machine.ClassicalTime(m, k, n, workers),
+		PredictedSeconds: t.prof.Machine.ClassicalTimeFor(be.Name(), m, k, n, workers),
 	}
 }
 
@@ -505,21 +539,23 @@ func (t *Tuner) schedules() []schedCand {
 }
 
 // algorithmPlans enumerates the viable (steps, scheduler, strategy) plans of
-// one algorithm on one shape, with predicted times and model workspaces.
-// Shapes that don't divide the base case are handled the way the executor
-// does — the recursion runs on the largest divisible core and the model
-// charges the peeling borders as classical gemm work on top.
-func (t *Tuner) algorithmPlans(a *algo.Algorithm, m, k, n int, ma costmodel.Machine) []Plan {
+// one algorithm on one shape for one leaf backend, with predicted times and
+// model workspaces. Shapes that don't divide the base case are handled the
+// way the executor does — the recursion runs on the largest divisible core
+// and the model charges the peeling borders as classical gemm work (on the
+// same backend) on top.
+func (t *Tuner) algorithmPlans(a *algo.Algorithm, m, k, n int, ma costmodel.Machine, be gemm.Backend) []Plan {
 	var out []Plan
 	b := a.Base
 	workers := t.opts.Workers
+	backend := be.Name()
 	for steps := 1; steps <= t.opts.MaxSteps; steps++ {
 		dM, dK, dN := ipow(b.M, steps), ipow(b.K, steps), ipow(b.N, steps)
 		if m < dM || k < dK || n < dN {
 			break // deeper recursion no longer fits one base-case block
 		}
 		cm, ck, cn := m-m%dM, k-k%dK, n-n%dN
-		fixup := ma.ClassicalTime(m, k, n, workers) - ma.ClassicalTime(cm, ck, cn, workers)
+		fixup := ma.ClassicalTimeFor(backend, m, k, n, workers) - ma.ClassicalTimeFor(backend, cm, ck, cn, workers)
 		if fixup < 0 {
 			fixup = 0
 		}
@@ -530,16 +566,19 @@ func (t *Tuner) algorithmPlans(a *algo.Algorithm, m, k, n int, ma costmodel.Mach
 				continue
 			}
 			for _, sc := range t.schedules() {
-				est, err := model.PredictTime(cm, ck, cn, steps, ma, sc.ex)
+				ex := sc.ex
+				ex.Backend = backend
+				est, err := model.PredictTime(cm, ck, cn, steps, ma, ex)
 				if err != nil {
 					continue
 				}
-				ws := modelWorkspaceBytes(cost, sc.par, workers)
+				ws := modelWorkspaceBytes(cost, sc.par, workers, be)
 				if cap := t.opts.Workspace; cap > 0 && ws > cap {
 					continue
 				}
 				out = append(out, Plan{
 					Algorithm:        a.Name,
+					Backend:          backend,
 					Steps:            steps,
 					Parallel:         sc.par.String(),
 					Strategy:         strat.String(),
@@ -556,8 +595,8 @@ func (t *Tuner) algorithmPlans(a *algo.Algorithm, m, k, n int, ma costmodel.Mach
 
 // modelWorkspaceBytes converts the cost model's float counts to the byte
 // footprint the ranking filters on, matching core's convention of charging
-// the gemm packing slabs per (parallel) worker.
-func modelWorkspaceBytes(c costmodel.Cost, par core.Parallel, workers int) int64 {
+// the backend's packing slabs per (parallel) worker.
+func modelWorkspaceBytes(c costmodel.Cost, par core.Parallel, workers int, be gemm.Backend) int64 {
 	floats := c.Workspace
 	if par == core.BFS || par == core.Hybrid {
 		floats = c.WorkspaceBFS
@@ -566,7 +605,7 @@ func modelWorkspaceBytes(c costmodel.Cost, par core.Parallel, workers int) int64
 	if par != core.Sequential {
 		packWorkers = workers
 	}
-	return 8 * (int64(floats) + int64(packWorkers)*gemm.PackFloatsPerWorker)
+	return 8*int64(floats) + 8*int64(packWorkers)*be.PackFloatsPerWorker()
 }
 
 func planWorkers(par core.Parallel, workers int) int {
@@ -630,9 +669,16 @@ func parseStrategy(s string) (addchain.Strategy, error) {
 // build turns a plan into a runnable decision. Fast plans get a trusted
 // executor (the catalog verified the algorithm once already); the workspace
 // cap is threaded through so the executor's run-time degradation also holds.
+// The plan's backend resolves here — an unknown name (edited cache file, a
+// blas plan loaded into a non-blas build) fails and falls through to a fresh
+// ranking, like an unknown algorithm.
 func (t *Tuner) build(p Plan) (*decision, error) {
+	be, err := gemm.Resolve(p.Backend)
+	if err != nil {
+		return nil, err
+	}
 	if p.IsClassical() {
-		return &decision{plan: p}, nil
+		return &decision{plan: p, be: be}, nil
 	}
 	a, err := catalog.GetVerified(p.Algorithm)
 	if err != nil {
@@ -653,12 +699,13 @@ func (t *Tuner) build(p Plan) (*decision, error) {
 		CSE:       p.CSE,
 		Parallel:  par,
 		Workers:   p.Workers,
+		Backend:   p.Backend,
 		Workspace: t.opts.Workspace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &decision{plan: p, exec: exec}, nil
+	return &decision{plan: p, be: be, exec: exec}, nil
 }
 
 // pick builds the winner from a ranked candidate list: the first candidate
@@ -688,8 +735,8 @@ func (t *Tuner) pick(ranked []Plan, m, k, n int) (*decision, error) {
 		}
 	}
 	if len(survivors) == 0 {
-		// Nothing fits the cap: classical sequential always runs.
-		return t.build(t.classicalPlan(m, k, n))
+		// Nothing fits the cap: classical on the default backend always runs.
+		return t.build(t.classicalPlan(m, k, n, gemm.Default()))
 	}
 	if t.opts.ProbeTopK == NoProbes || len(survivors) == 1 {
 		return survivors[0], nil
