@@ -5,9 +5,11 @@
 package fastmm_test
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"fastmm"
 	"fastmm/internal/mat"
@@ -191,5 +193,62 @@ func TestBatcherAndAutoHammer(t *testing.T) {
 	}
 	if err := b.Wait(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSubmitWithPublicSurface exercises the server-grade submit path through
+// the public aliases: priority lanes, a deadline that expires while queued
+// (fastmm.ErrDeadlineExceeded on the ticket, not from Wait), and completion
+// callbacks via SubmitFunc.
+func TestSubmitWithPublicSurface(t *testing.T) {
+	b, err := fastmm.NewBatcher(batchTestOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 96
+	A := fastmm.RandomMatrix(n, n, 1)
+	B := fastmm.RandomMatrix(n, n, 2)
+	want := fastmm.NewMatrix(n, n)
+	fastmm.Classical(want, A, B)
+
+	// A High-lane item with a generous deadline and a callback.
+	C := fastmm.NewMatrix(n, n)
+	done := make(chan error, 1)
+	err = b.SubmitFunc(C, A, B, fastmm.SubmitOpts{
+		Lane:     fastmm.LaneHigh,
+		Deadline: time.Now().Add(time.Minute),
+	}, func(err error) { done <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(C, want); d > 1e-9*float64(n+1) {
+		t.Fatalf("high-lane product: max diff %g", d)
+	}
+
+	// A Low-lane item already past its deadline fails fast on its ticket.
+	tk, err := b.SubmitWith(fastmm.NewMatrix(n, n), A, B, fastmm.SubmitOpts{
+		Lane:     fastmm.LaneLow,
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); !errors.Is(err, fastmm.ErrDeadlineExceeded) {
+		t.Fatalf("expired item: got %v, want fastmm.ErrDeadlineExceeded", err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatalf("Wait must not aggregate expiries: %v", err)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubmitWith(C, A, B, fastmm.SubmitOpts{}); !errors.Is(err, fastmm.ErrBatcherClosed) {
+		t.Fatalf("SubmitWith after Close: got %v, want fastmm.ErrBatcherClosed", err)
 	}
 }

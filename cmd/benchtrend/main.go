@@ -10,7 +10,10 @@
 //     the autotuner gives up against the best hand-picked configuration —
 //     a within-run ratio, robust to runner speed),
 //   - allocs experiment and the batcher series of the batch experiment:
-//     allocations per multiplication (exact counts, zero noise).
+//     allocations per multiplication (exact counts, zero noise),
+//   - the batch experiment's priority-lane scenario: the High-lane latency
+//     ratio under a Low-lane flood vs alone (another within-run ratio — it
+//     regresses when priority scheduling stops protecting interactive work).
 //
 // Batcher-vs-auto throughput speedups and the total bench wall time are
 // reported as information but never gate (they depend on runner core count).
@@ -154,6 +157,31 @@ func extract(r report) map[string]metric {
 					out[fmt.Sprintf("batch speedup %dx%dx%d b%d", c.p, c.q, c.r, c.x)] =
 						metric{value: a.Seconds / pt.Seconds, gate: false}
 				}
+			}
+			// Priority-lane scenario: gate the High-lane latency ratio
+			// (under Low-lane flood vs alone) — a within-run ratio like
+			// auto-vs-best, so it is stable across runner speeds. The
+			// expired-deadline count and burst throughput stay info-only.
+			var laneHigh, laneAlone float64
+			for _, pt := range run.Points {
+				switch pt.Series {
+				case "lane-high":
+					laneHigh = pt.Seconds
+				case "lane-high-alone":
+					laneAlone = pt.Seconds
+				case "lane-low-expired":
+					out["lane expired deadlines"] = metric{value: pt.Seconds, gate: false}
+				case "burst-width":
+					// The width-policy burst (Workers×4 submitted at once):
+					// per-item drain seconds. Info-only — throughput depends
+					// on runner core count — but its trajectory is the
+					// tentpole width fix's trace in the trend report.
+					out["batch burst secs/item"] = metric{value: pt.Seconds, gate: false}
+				}
+			}
+			if laneHigh > 0 && laneAlone > 0 {
+				out["lane high-latency ratio"] =
+					metric{value: laneHigh / laneAlone, absSlack: 0.25, gate: true}
 			}
 		}
 	}

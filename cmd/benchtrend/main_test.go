@@ -8,6 +8,10 @@ import (
 )
 
 func testReport(autoSecs, allocs, batcherSecs float64) report {
+	return laneReport(autoSecs, allocs, batcherSecs, 0.020)
+}
+
+func laneReport(autoSecs, allocs, batcherSecs, laneHighSecs float64) report {
 	var r report
 	r.TotalSeconds = 10
 	r.Runs = []struct {
@@ -26,6 +30,10 @@ func testReport(autoSecs, allocs, batcherSecs float64) report {
 		{ID: "batch", Points: []bench.Point{
 			{Series: "batcher", P: 384, Q: 384, R: 384, X: 64, Seconds: batcherSecs, Allocs: 3},
 			{Series: "auto-loop", P: 384, Q: 384, R: 384, X: 64, Seconds: 2.0},
+			{Series: "lane-high-alone", P: 256, Q: 256, R: 256, X: 256, Seconds: 0.010},
+			{Series: "lane-high", P: 256, Q: 256, R: 256, X: 256, Seconds: laneHighSecs},
+			{Series: "lane-low-expired", P: 256, Q: 256, R: 256, X: 16, Seconds: 16},
+			{Series: "burst-width", P: 256, Q: 256, R: 256, X: 16, Seconds: 0.004},
 		}},
 	}
 	return r
@@ -44,6 +52,44 @@ func TestExtract(t *testing.T) {
 	}
 	if got := m["batch allocs/op 384x384x384 b64"]; got.value != 3 || !got.gate {
 		t.Fatalf("batch allocs metric = %+v", got)
+	}
+	if got := m["lane high-latency ratio"]; got.value != 2.0 || !got.gate {
+		t.Fatalf("lane latency ratio must gate: %+v", got)
+	}
+	if got := m["lane expired deadlines"]; got.value != 16 || got.gate {
+		t.Fatalf("expired-deadline count must be informational: %+v", got)
+	}
+	if got := m["batch burst secs/item"]; got.value != 0.004 || got.gate {
+		t.Fatalf("burst-width metric must be informational: %+v", got)
+	}
+}
+
+// TestLaneRatioGates: a big jump in the High-lane latency ratio (priority
+// scheduling no longer protecting interactive work) must fail the build;
+// jitter inside the absolute slack must not.
+func TestLaneRatioGates(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	prev := extract(laneReport(1.0, 2, 1.0, 0.020)) // ratio 2.0
+	// 2.0 -> 2.2: +10% and within the 0.25 absolute slack — no gate.
+	if n := compare(devnull, prev, extract(laneReport(1.0, 2, 1.0, 0.022)), 0.15); n != 0 {
+		t.Fatalf("lane ratio jitter flagged: %d", n)
+	}
+	// 2.0 -> 3.0: +50% and beyond slack — one regression.
+	if n := compare(devnull, prev, extract(laneReport(1.0, 2, 1.0, 0.030)), 0.15); n != 1 {
+		t.Fatalf("lane ratio regression not flagged: %d", n)
+	}
+	// 1.0 -> 1.2: +20% relative (over the 15% threshold) but only 0.2
+	// absolute — inside the 0.25 slack, so it must NOT gate. This is the
+	// case that actually exercises the absolute-slack clause: dropping it
+	// from compare() fails here.
+	prevLow := extract(laneReport(1.0, 2, 1.0, 0.010)) // ratio 1.0
+	if n := compare(devnull, prevLow, extract(laneReport(1.0, 2, 1.0, 0.012)), 0.15); n != 0 {
+		t.Fatalf("small-ratio jitter inside the absolute slack flagged: %d", n)
 	}
 }
 

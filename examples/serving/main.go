@@ -4,18 +4,26 @@
 // workspace arenas) warm, and runs independent requests concurrently under
 // one worker budget — small requests side by side, large ones full width.
 // The same traffic is then replayed through per-call fastmm.Auto for
-// comparison, and a same-shape burst goes through the pipelined Stream.
+// comparison, a same-shape burst goes through the pipelined Stream, and a
+// final mixed-load section exercises the server-grade submit path: sparse
+// High-lane interactive requests stay fast against a Low-lane bulk flood,
+// deadline'd Low items expire instead of occupying runners, and completion
+// callbacks resolve requests with no ticket bookkeeping.
 //
 //	go run ./examples/serving [requests]
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastmm"
@@ -113,4 +121,71 @@ func main() {
 	streamSecs := time.Since(start).Seconds()
 	fmt.Printf("pipelined stream: %d × %d^3 in %.2fs (%.1f req/s)\n",
 		burst, m, streamSecs, float64(burst)/streamSecs)
+
+	// Mixed load on the server-grade submit path: a Low-lane bulk flood
+	// saturates the workers while sparse High-lane "interactive" requests
+	// must overtake the backlog. Completion callbacks (SubmitFunc) resolve
+	// everything — no tickets held anywhere.
+	const interactive = 12
+	var bulkDone, bulkExpired atomic.Int64
+	stopFlood := make(chan struct{})
+	var floodWg sync.WaitGroup
+	floodWg.Add(1)
+	go func() {
+		defer floodWg.Done()
+		bulkA, bulkB := fastmm.RandomMatrix(m, k, 3), fastmm.RandomMatrix(k, n, 4)
+		window := make(chan struct{}, 2*workers) // bounded outstanding bulk work
+		for i := 0; ; i++ {
+			select {
+			case <-stopFlood:
+				return
+			case window <- struct{}{}:
+			}
+			// Every fourth bulk item carries a tight freshness deadline:
+			// under saturation it expires (ErrDeadlineExceeded) instead of
+			// occupying a runner — stale speculative work costs nothing.
+			opts := fastmm.SubmitOpts{Lane: fastmm.LaneLow}
+			if i%4 == 3 {
+				opts.Deadline = time.Now().Add(2 * time.Millisecond)
+			}
+			err := batcher.SubmitFunc(fastmm.NewMatrix(m, n), bulkA, bulkB, opts, func(err error) {
+				switch {
+				case errors.Is(err, fastmm.ErrDeadlineExceeded):
+					bulkExpired.Add(1)
+				case err == nil:
+					bulkDone.Add(1)
+				}
+				<-window
+			})
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	hiA, hiB := fastmm.RandomMatrix(m, k, 5), fastmm.RandomMatrix(k, n, 6)
+	hiC := fastmm.NewMatrix(m, n)
+	latencies := make([]float64, 0, interactive)
+	for i := 0; i < interactive; i++ {
+		reqStart := time.Now()
+		tk, err := batcher.SubmitWith(hiC, hiA, hiB, fastmm.SubmitOpts{Lane: fastmm.LaneHigh})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tk.Wait(); err != nil {
+			log.Fatal(err)
+		}
+		latencies = append(latencies, time.Since(reqStart).Seconds())
+		time.Sleep(5 * time.Millisecond) // sparse interactive arrivals
+	}
+	close(stopFlood)
+	floodWg.Wait()
+	if err := batcher.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	sort.Float64s(latencies)
+	p50 := latencies[len(latencies)/2]
+	p95 := latencies[len(latencies)*95/100]
+	fmt.Printf("lanes under load: %d high-lane requests at p50 %.1fms / p95 %.1fms while %d low-lane bulk items ran and %d deadline'd ones expired unexecuted\n",
+		interactive, p50*1e3, p95*1e3, bulkDone.Load(), bulkExpired.Load())
 }

@@ -264,13 +264,41 @@ type BatchOptions = batch.Options
 // workspace arenas stay warm, and independent multiplications run
 // concurrently under one total Workers budget — a deep queue of small
 // problems runs many sequential multiplies side by side, while a lone large
-// problem uses the full-width parallel schedule. It is safe for concurrent
-// use; see NewBatcher.
+// problem uses the full-width parallel schedule. The asynchronous submit
+// path is server-grade: SubmitWith takes priority lanes (High/Normal/Low),
+// per-item deadlines (fail-fast with ErrDeadlineExceeded), and completion
+// callbacks (SubmitFunc) so servers avoid ticket bookkeeping. It is safe for
+// concurrent use; see NewBatcher.
 type Batcher = batch.Batcher
 
 // BatchTicket tracks one asynchronous Batcher.Submit; Wait blocks until the
-// multiplication ran and returns its error.
+// multiplication resolved (ran, failed, or expired) and returns its error.
 type BatchTicket = batch.Ticket
+
+// SubmitOpts carries the per-item scheduling options of Batcher.SubmitWith
+// and Batcher.SubmitFunc: a priority lane, an optional deadline, and an
+// optional completion callback. The zero value reproduces plain Submit.
+type SubmitOpts = batch.SubmitOpts
+
+// Lane is a submission priority lane: runners drain the highest-priority
+// non-empty lane first (strict priority, FIFO within a lane).
+type Lane = batch.Lane
+
+// Priority lanes. LaneNormal is the zero value.
+const (
+	LaneNormal = batch.LaneNormal
+	LaneHigh   = batch.LaneHigh
+	LaneLow    = batch.LaneLow
+)
+
+// ErrDeadlineExceeded resolves a submitted item whose SubmitOpts.Deadline
+// passed before it started executing: the item fails fast (Ticket and
+// Callback) instead of occupying a runner. Batcher.Wait does not aggregate
+// expiries — they are expected per-item outcomes for deadline'd traffic.
+var ErrDeadlineExceeded = batch.ErrDeadlineExceeded
+
+// ErrBatcherClosed is returned by Batcher submissions after Close.
+var ErrBatcherClosed = batch.ErrClosed
 
 // BatchStream is a pipelined same-shape stream over a Batcher: Push stages
 // ("packs") the operands into retained double buffers and overlaps the copy

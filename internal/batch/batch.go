@@ -11,6 +11,15 @@
 // side by side (near-perfect scaling — no per-call barriers), while a lone
 // large problem gets the full-width BFS/DFS treatment it gets today.
 //
+// The submission path is server-grade: asynchronous work queues on priority
+// lanes (High/Normal/Low, strict priority with FIFO within a lane), items
+// may carry deadlines (an item that has not started executing by its
+// deadline fails fast with ErrDeadlineExceeded instead of occupying a
+// runner), and completion callbacks let a server resolve requests without
+// ticket bookkeeping. A multiply's internal width is its fair share of the
+// Workers budget among the multiplications actually executing — queued-but-
+// idle items never dilute it.
+//
 // This is the paper's §4.5 bandwidth-vs-compute lesson applied across calls
 // instead of within one: the per-call overheads (operand packing, addition
 // synchronization, goroutine fan-out) are fixed costs that only amortize when
@@ -24,9 +33,11 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastmm/internal/mat"
 	"fastmm/internal/tuner"
@@ -68,8 +79,9 @@ type Options struct {
 	// NoPipeline disables the double-buffered operand staging of Stream;
 	// Push then multiplies synchronously.
 	NoPipeline bool
-	// QueueDepth is the async submission queue capacity (default
-	// 4×Workers); a full queue makes Submit block (backpressure).
+	// QueueDepth is the capacity of the asynchronous submission queue,
+	// shared across all priority lanes (default 4×Workers); a full queue
+	// makes Submit block (backpressure).
 	QueueDepth int
 	// Tuning configures the per-entry tuners. Workers is managed per entry
 	// width and Profile is filled from the batcher's one calibration, so
@@ -126,7 +138,8 @@ type Ticket struct {
 	err  error
 }
 
-// Wait blocks until the multiplication has run and returns its error.
+// Wait blocks until the multiplication has resolved (run, failed, or expired
+// past its deadline) and returns its error.
 func (t *Ticket) Wait() error {
 	<-t.done
 	return t.err
@@ -135,14 +148,22 @@ func (t *Ticket) Wait() error {
 // task is one queued submission; it embeds the Ticket so the async path
 // costs one struct and one channel per item, not three structs.
 type task struct {
-	C, A, B *mat.Dense
-	ticket  Ticket
+	C, A, B  *mat.Dense
+	lane     Lane
+	deadline time.Time
+	callback func(error)
+	ticket   Ticket
+}
+
+// expired reports whether the task's deadline (if any) has passed.
+func (t *task) expired(now time.Time) bool {
+	return !t.deadline.IsZero() && now.After(t.deadline)
 }
 
 // Batcher dispatches multiplications through a pool of warm per-shape-class
 // executors. It is safe for concurrent use. Multiply is synchronous; Submit
-// enqueues work for the batcher's runner pool and returns a Ticket. Close
-// waits for outstanding work and stops the runners.
+// and SubmitWith enqueue work for the batcher's runner pool. Close waits for
+// outstanding work (asynchronous and synchronous) and stops the runners.
 type Batcher struct {
 	opts Options
 	prof *tuner.Profile
@@ -158,22 +179,34 @@ type Batcher struct {
 
 	sem wsem
 
-	// inflight counts multiplications between submission/entry and
-	// completion; the width policy divides Workers by it.
-	inflight atomic.Int64
+	// executing counts multiplications that are actually running (dequeued
+	// by a runner, or a synchronous call past its entry resolution) — NOT
+	// items sitting idle in the queue. The width policy divides Workers by
+	// it: deriving width from enqueue-time counts starved every executing
+	// multiply down to a fraction of its fair share whenever a burst sat
+	// queued (QueueDepth defaults to 4×Workers, so ~1/4).
+	executing atomic.Int64
 
-	// outMu/outCond guard the outstanding async count and the first error;
-	// Wait blocks on the condition, which is safe against concurrent Submit
-	// (unlike a WaitGroup).
+	// outMu/outCond guard the outstanding count and the first error; Wait
+	// blocks on the condition, which is safe against concurrent Submit
+	// (unlike a WaitGroup). Synchronous calls register here too, so Close
+	// never returns while any multiplication is still executing.
 	outMu       sync.Mutex
 	outCond     *sync.Cond
 	outstanding int
 	firstErr    error
 
-	submitMu  sync.Mutex // serializes Submit vs Close on the queue
+	submitMu  sync.Mutex // serializes submission registration vs Close
 	queueOnce sync.Once
-	queue     chan *task
-	closed    atomic.Bool
+	queue     *laneQueue
+	// closed is guarded by submitMu — deliberately not an atomic: every
+	// check must happen under the same lock Close takes to flip it, or a
+	// submission could slip past Close's drain (the lifecycle race this
+	// design exists to prevent).
+	closed    bool
+	closeOnce sync.Once
+	closeDone chan struct{} // closed when the Close drain has completed
+	closeErr  error
 }
 
 // New builds a Batcher. The one machine calibration behind every entry's
@@ -182,11 +215,12 @@ type Batcher struct {
 // lazily on first touch.
 func New(opts Options) (*Batcher, error) {
 	b := &Batcher{
-		opts:     opts.withDefaults(),
-		tuners:   map[int]*tuner.Tuner{},
-		entries:  map[entryKey]*warmEntry{},
-		lru:      list.New(),
-		building: map[entryKey]chan struct{}{},
+		opts:      opts.withDefaults(),
+		tuners:    map[int]*tuner.Tuner{},
+		entries:   map[entryKey]*warmEntry{},
+		lru:       list.New(),
+		building:  map[entryKey]chan struct{}{},
+		closeDone: make(chan struct{}),
 	}
 	b.outCond = sync.NewCond(&b.outMu)
 	b.sem.free = b.opts.Workers
@@ -226,16 +260,19 @@ func (b *Batcher) tunerFor(w int) (*tuner.Tuner, error) {
 // Multiply computes C = A·B synchronously through the warm entry for the
 // operands' shape class, tuning the class on first touch. Concurrent callers
 // share the Workers budget: each call's internal width shrinks as more
-// multiplications are in flight.
+// multiplications are executing. The call registers in the batcher's
+// outstanding accounting, so Close (and Wait) never return while it is still
+// running; its error is returned here, not folded into Wait's.
 func (b *Batcher) Multiply(C, A, B *mat.Dense) error {
 	if err := checkDims(C, A, B); err != nil {
 		return err
 	}
-	if b.closed.Load() {
-		return ErrClosed
+	if err := b.beginSync(); err != nil {
+		return err
 	}
-	load := b.inflight.Add(1)
-	defer b.inflight.Add(-1)
+	defer b.doneOutstanding(nil) // sync errors belong to this caller alone
+	load := b.executing.Add(1)
+	defer b.executing.Add(-1)
 	e, err := b.entryFor(A.Rows(), A.Cols(), B.Cols(), int(load))
 	if err != nil {
 		return err
@@ -243,26 +280,84 @@ func (b *Batcher) Multiply(C, A, B *mat.Dense) error {
 	return b.run(e, C, A, B)
 }
 
-// Submit enqueues C = A·B for asynchronous execution and returns a Ticket.
-// Dimension errors surface immediately; execution errors on the Ticket (and,
-// aggregated, from Wait). C, A, and B must stay untouched until the Ticket
-// resolves. A full queue makes Submit block.
+// beginSync registers a synchronous multiplication in the outstanding
+// accounting under the same lock discipline Close uses to flip closed:
+// either the call registers before Close's drain starts (and Close waits for
+// it), or it observes closed and runs nothing. Checking closed without the
+// lock is not enough — a call could pass the check, lose the CPU, and still
+// be executing after Close drained Wait and returned.
+func (b *Batcher) beginSync() error {
+	b.submitMu.Lock()
+	defer b.submitMu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.addOutstanding()
+	return nil
+}
+
+// Submit enqueues C = A·B on the Normal lane and returns a Ticket; it is
+// SubmitWith with zero SubmitOpts. Dimension errors surface immediately;
+// execution errors on the Ticket (and, aggregated, from Wait). C, A, and B
+// must stay untouched until the Ticket resolves. A full queue makes Submit
+// block.
 func (b *Batcher) Submit(C, A, B *mat.Dense) (*Ticket, error) {
+	return b.SubmitWith(C, A, B, SubmitOpts{})
+}
+
+// SubmitWith enqueues C = A·B with per-item scheduling options: a priority
+// lane, an optional deadline (items not yet executing when it passes fail
+// fast with ErrDeadlineExceeded, on the Ticket and Callback only — Wait does
+// not aggregate expiries), and an optional completion callback. Dimension
+// and lane errors surface immediately and the item is never queued; a full
+// queue makes SubmitWith block (backpressure, lanes share one QueueDepth).
+func (b *Batcher) SubmitWith(C, A, B *mat.Dense, opts SubmitOpts) (*Ticket, error) {
 	if err := checkDims(C, A, B); err != nil {
 		return nil, err
 	}
-	tk := &task{C: C, A: A, B: B, ticket: Ticket{done: make(chan struct{})}}
+	if !opts.Lane.valid() {
+		return nil, fmt.Errorf("batch: invalid lane %d", opts.Lane)
+	}
+	tk := &task{C: C, A: A, B: B, lane: opts.Lane, deadline: opts.Deadline,
+		callback: opts.Callback, ticket: Ticket{done: make(chan struct{})}}
 	b.submitMu.Lock()
-	if b.closed.Load() {
+	if b.closed {
 		b.submitMu.Unlock()
 		return nil, ErrClosed
 	}
 	b.startRunners()
 	b.addOutstanding()
-	b.inflight.Add(1)
-	b.queue <- tk
 	b.submitMu.Unlock()
+	if tk.expired(time.Now()) {
+		// Already past its deadline: resolve without ever touching the
+		// queue or a runner. The resolution happens on its own goroutine so
+		// the Callback contract holds — it never runs on the submitter,
+		// whose locks or submit loop a server callback may depend on.
+		go b.finish(tk, ErrDeadlineExceeded)
+		return &tk.ticket, nil
+	}
+	if err := b.queue.push(tk); err != nil {
+		// Unreachable in practice: the queue only closes after Close
+		// drained the outstanding count this item is registered in. Keep
+		// the accounting straight regardless.
+		b.finish(tk, err)
+		return nil, err
+	}
 	return &tk.ticket, nil
+}
+
+// SubmitFunc enqueues C = A·B and invokes fn exactly once with the item's
+// error when it resolves — the callback form servers use to complete
+// requests without holding tickets. fn takes the place of opts.Callback; it
+// runs on the runner goroutine, so it should hand off rather than block.
+// The returned error covers submission only (dimensions, lane, ErrClosed);
+// execution errors go to fn.
+func (b *Batcher) SubmitFunc(C, A, B *mat.Dense, opts SubmitOpts, fn func(error)) error {
+	if fn != nil {
+		opts.Callback = fn
+	}
+	_, err := b.SubmitWith(C, A, B, opts)
+	return err
 }
 
 // MultiplyAll computes dsts[i] = as[i]·bs[i] for every i, running independent
@@ -295,9 +390,13 @@ func (b *Batcher) MultiplyAll(dsts, as, bs []*mat.Dense) error {
 	return firstErr
 }
 
-// Wait blocks until every asynchronous multiplication submitted so far has
-// completed and returns the first error among them since the last Wait
-// (individual Tickets report the same errors per item).
+// Wait blocks until every multiplication submitted or started so far —
+// asynchronous items and synchronous calls alike — has resolved, and
+// returns the first asynchronous execution error since the last Wait
+// (individual Tickets and Callbacks report the same errors per item).
+// Deadline expiries and synchronous-call errors are not aggregated here:
+// the former are expected per-item outcomes, the latter already went to
+// their caller.
 func (b *Batcher) Wait() error {
 	b.outMu.Lock()
 	for b.outstanding > 0 {
@@ -311,22 +410,26 @@ func (b *Batcher) Wait() error {
 
 // Close waits for outstanding work, stops the runner pool, and marks the
 // batcher closed (further Multiply/Submit calls fail with ErrClosed). It
-// returns Wait's error. Close is idempotent.
+// returns Wait's error. Close is idempotent, and every caller — including
+// concurrent ones racing the first — blocks until the drain has completed
+// and observes the same error, so the lifecycle guarantee holds for each of
+// them: once any Close call returns, no multiplication — asynchronous,
+// synchronous, or stream-staged — is still executing.
 func (b *Batcher) Close() error {
-	b.submitMu.Lock()
-	alreadyClosed := b.closed.Swap(true)
-	b.submitMu.Unlock()
-	if alreadyClosed {
-		return nil
-	}
-	err := b.Wait()
-	b.submitMu.Lock()
-	if b.queue != nil {
-		close(b.queue)
-		b.queue = nil
-	}
-	b.submitMu.Unlock()
-	return err
+	b.closeOnce.Do(func() {
+		b.submitMu.Lock()
+		b.closed = true
+		b.submitMu.Unlock()
+		b.closeErr = b.Wait()
+		b.submitMu.Lock()
+		if b.queue != nil {
+			b.queue.close()
+		}
+		b.submitMu.Unlock()
+		close(b.closeDone)
+	})
+	<-b.closeDone
+	return b.closeErr
 }
 
 // WarmEntries reports how many warm entries the pool currently holds.
@@ -344,12 +447,30 @@ func (b *Batcher) WorkspaceRetained() int64 {
 	return b.retained
 }
 
+// QueueDepth reports how many submitted items are currently queued across
+// all lanes (excluding items already executing).
+func (b *Batcher) QueueDepth() int {
+	b.submitMu.Lock()
+	q := b.queue
+	b.submitMu.Unlock()
+	if q == nil {
+		return 0
+	}
+	return q.depth()
+}
+
 // PlanFor reports the plan the batcher would run an ⟨m,k,n⟩ multiply with
 // when nothing else is in flight, warming its class entry on first touch.
+// Like every entry-building path it registers in the outstanding accounting,
+// so it cannot tune and install retained state after Close returned.
 func (b *Batcher) PlanFor(m, k, n int) (tuner.Plan, error) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return tuner.Plan{}, fmt.Errorf("batch: invalid shape %d×%d×%d", m, k, n)
 	}
+	if err := b.beginSync(); err != nil {
+		return tuner.Plan{}, err
+	}
+	defer b.doneOutstanding(nil)
 	e, err := b.entryFor(m, k, n, 1)
 	if err != nil {
 		return tuner.Plan{}, err
@@ -361,25 +482,100 @@ func (b *Batcher) PlanFor(m, k, n int) (tuner.Plan, error) {
 // only synchronously never spawns a goroutine). Callers hold submitMu.
 func (b *Batcher) startRunners() {
 	b.queueOnce.Do(func() {
-		b.queue = make(chan *task, b.opts.QueueDepth)
+		b.queue = newLaneQueue(b.opts.QueueDepth)
 		for i := 0; i < b.opts.Workers; i++ {
 			go b.runner(b.queue)
 		}
+		go b.sweeper(b.queue)
 	})
 }
 
-func (b *Batcher) runner(queue chan *task) {
-	for tk := range queue {
-		load := int(b.inflight.Load())
-		e, err := b.entryFor(tk.A.Rows(), tk.A.Cols(), tk.B.Cols(), load)
-		if err == nil {
-			err = b.run(e, tk.C, tk.A, tk.B)
+// sweeper expires deadline'd items that are starving in the queue. The
+// dequeue-time check alone cannot bound how long a starved item lingers:
+// under sustained higher-priority traffic a Low-lane item might never be
+// dequeued, leaving its Ticket and Callback hanging long past the deadline.
+// The sweeper parks until the earliest queued deadline (or a push of a new
+// deadline'd item), then removes and resolves everything expired — off the
+// queue, without a runner. It costs nothing while no queued item carries a
+// deadline, and exits when the queue closes.
+func (b *Batcher) sweeper(queue *laneQueue) {
+	for {
+		expired, next, open := queue.sweepExpired(time.Now())
+		for _, tk := range expired {
+			// Each expiry resolves on its own goroutine: a blocking
+			// completion callback must stall neither the sweep loop (the
+			// next starved item's expiry) nor, transitively, Close's drain
+			// of the items it still has registered.
+			tk := tk
+			go b.finish(tk, ErrDeadlineExceeded)
 		}
-		tk.ticket.err = err
-		close(tk.ticket.done)
-		b.inflight.Add(-1)
-		b.doneOutstanding(err)
+		if !open {
+			return
+		}
+		wait := time.Hour // nothing deadline'd is queued: park until a push
+		if !next.IsZero() {
+			if wait = time.Until(next); wait < 0 {
+				wait = 0
+			}
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-queue.deadlineSig:
+		case <-timer.C:
+		case <-queue.done:
+		}
+		timer.Stop()
 	}
+}
+
+func (b *Batcher) runner(queue *laneQueue) {
+	for {
+		tk, ok := queue.pop()
+		if !ok {
+			return
+		}
+		b.execute(tk)
+	}
+}
+
+// execute runs one dequeued task. The deadline check happens here — after
+// the queue wait, before any executor work — so an expired item resolves in
+// microseconds instead of occupying the runner for a multiplication nobody
+// wants anymore. The executing count (the width policy's denominator) is
+// held only around actual execution.
+func (b *Batcher) execute(tk *task) {
+	if tk.expired(time.Now()) {
+		// Like every expiry path, resolve on a dedicated goroutine: the
+		// Callback contract says deadline expiries never run on a runner,
+		// so a blocking callback cannot stall the pool.
+		go b.finish(tk, ErrDeadlineExceeded)
+		return
+	}
+	load := int(b.executing.Add(1))
+	e, err := b.entryFor(tk.A.Rows(), tk.A.Cols(), tk.B.Cols(), load)
+	if err == nil {
+		err = b.run(e, tk.C, tk.A, tk.B)
+	}
+	b.executing.Add(-1)
+	b.finish(tk, err)
+}
+
+// finish resolves a task everywhere it is observed: the Ticket, the
+// completion callback, and the outstanding accounting. Deadline expiries are
+// reported on the Ticket and Callback but never folded into Wait's first
+// error — expiry is an expected per-item outcome for deadline'd traffic,
+// not a batch failure.
+func (b *Batcher) finish(tk *task, err error) {
+	tk.ticket.err = err
+	close(tk.ticket.done)
+	if tk.callback != nil {
+		tk.callback(err)
+	}
+	waitErr := err
+	if errors.Is(err, ErrDeadlineExceeded) {
+		waitErr = nil
+	}
+	b.doneOutstanding(waitErr)
 }
 
 func (b *Batcher) addOutstanding() {
@@ -412,14 +608,16 @@ func (b *Batcher) run(e *warmEntry, C, A, B *mat.Dense) error {
 }
 
 // widthFor picks a multiply's internal parallelism: the fair share of the
-// Workers budget at the current load, capped by the work grain, rounded down
-// to a power of two so classes collapse onto few tuned widths.
+// Workers budget among the load multiplications currently executing, capped
+// by the work grain, rounded down to a power of two so classes collapse onto
+// few tuned widths. load counts executing multiplies only — items idle in
+// the submission queue consume no workers and must not dilute the share.
 func (b *Batcher) widthFor(m, k, n, load int) int {
 	if load < 1 {
 		load = 1
 	}
 	w := b.opts.Workers / load
-	if g := 2 * int64(m) * int64(k) * int64(n) / b.opts.GrainFLOPs; g < int64(w) {
+	if g := flopsFor(m, k, n) / b.opts.GrainFLOPs; g < int64(w) {
 		w = int(g)
 	}
 	if w < 1 {
@@ -429,6 +627,26 @@ func (b *Batcher) widthFor(m, k, n, load int) int {
 		w = b.opts.Workers
 	}
 	return floorPow2(w)
+}
+
+// flopsFor is the classical flop count 2·m·k·n, saturating at MaxInt64: for
+// absurd-but-representable shapes the product must read as "enormous", not
+// wrap negative (which would starve the multiply to width 1).
+func flopsFor(m, k, n int) int64 {
+	f := satMul64(int64(m), int64(k))
+	f = satMul64(f, int64(n))
+	return satMul64(f, 2)
+}
+
+// satMul64 multiplies non-negative a and b, saturating at MaxInt64.
+func satMul64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
 }
 
 // entryFor resolves (building if needed) the warm entry for a shape at the

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -251,6 +252,25 @@ func TestSemaphoreWideNotStarvedByNarrowStream(t *testing.T) {
 	}
 }
 
+// TestFlopsForSaturates pins the overflow clamp of the width policy's flop
+// product: huge-but-representable shapes saturate at MaxInt64 instead of
+// wrapping (the old 2*m*k*n wrapped to ~0 and granted width 1).
+func TestFlopsForSaturates(t *testing.T) {
+	if got := flopsFor(64, 64, 64); got != 2*64*64*64 {
+		t.Errorf("flopsFor(64,64,64) = %d, want %d", got, 2*64*64*64)
+	}
+	huge := 1 << 31
+	if got := flopsFor(huge, huge, huge); got != math.MaxInt64 {
+		t.Errorf("flopsFor(huge) = %d, want MaxInt64", got)
+	}
+	if got := flopsFor(0, 64, 64); got != 0 {
+		t.Errorf("flopsFor with a zero dim = %d, want 0", got)
+	}
+	if got := satMul64(math.MaxInt64, 2); got != math.MaxInt64 {
+		t.Errorf("satMul64(MaxInt64, 2) = %d, want MaxInt64", got)
+	}
+}
+
 func TestFloorPow2(t *testing.T) {
 	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 7: 4, 8: 8, 9: 8, 1023: 512, 1024: 1024}
 	for v, want := range cases {
@@ -278,6 +298,11 @@ func TestWidthForEdgeCases(t *testing.T) {
 		{"zero load treated as one", 768, 768, 768, 0, 8},
 		{"negative load treated as one", 768, 768, 768, -3, 8},
 		{"tiny problem under heavy load", 8, 8, 8, 100, 1},
+		// 2·m·k·n overflows int64 for these absurd-but-representable
+		// shapes; the saturating flop product must read "enormous" (full
+		// fair share), not wrap to a value that starves the multiply.
+		{"flop product would overflow", 1 << 21, 1 << 21, 1 << 21, 1, 8},
+		{"overflow under load still splits", 1 << 21, 1 << 21, 1 << 21, 2, 4},
 	}
 	for _, c := range cases {
 		if got := b.widthFor(c.m, c.k, c.n, c.load); got != c.want {

@@ -39,14 +39,18 @@ type streamSlot struct {
 
 // Stream builds a pipeline for one exact shape, warming (tuning on first
 // touch) the shape class at full width — a stream executes one item at a
-// time, so each item gets the whole-budget treatment.
+// time, so each item gets the whole-budget treatment. The warm-up registers
+// in the outstanding accounting like every other entry-building path, so it
+// cannot tune and install retained state into a batcher whose Close already
+// returned.
 func (b *Batcher) Stream(m, k, n int) (*Stream, error) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return nil, fmt.Errorf("batch: invalid stream shape %d×%d×%d", m, k, n)
 	}
-	if b.closed.Load() {
-		return nil, ErrClosed
+	if err := b.beginSync(); err != nil {
+		return nil, err
 	}
+	defer b.doneOutstanding(nil)
 	e, err := b.entryFor(m, k, n, 1)
 	if err != nil {
 		return nil, err
@@ -60,14 +64,21 @@ func (b *Batcher) Stream(m, k, n int) (*Stream, error) {
 // is surfaced exactly once (by the first Push or Flush to see it), and the
 // stream keeps accepting work after one — except ErrClosed, which reports
 // that *this* item was not scheduled.
+//
+// Push registers in the outstanding accounting (beginSync's closed re-check
+// under submitMu) before any entry work: either the registration lands
+// before Close's drain starts — and Close waits for this push, staged
+// execution included — or Push observes closed and neither executes nor
+// builds (tunes, installs retained state for) a warm entry. Checking closed
+// without the lock would let a push slip past Close's drain.
 func (s *Stream) Push(C, A, B *mat.Dense) error {
 	if A.Rows() != s.m || A.Cols() != s.k || B.Rows() != s.k || B.Cols() != s.n ||
 		C.Rows() != s.m || C.Cols() != s.n {
 		return fmt.Errorf("batch: stream is %d×%d×%d, got C %d×%d = A %d×%d · B %d×%d",
 			s.m, s.k, s.n, C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
 	}
-	if s.b.closed.Load() {
-		return ErrClosed
+	if err := s.b.beginSync(); err != nil {
+		return err
 	}
 	// A long-lived stream must not pin its warm entry against the pool's
 	// budgets: if the entry was evicted (LRU pressure from other classes),
@@ -77,13 +88,15 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 	// to the byte accounting.
 	e, err := s.b.liveEntry(s.e, s.m, s.k, s.n)
 	if err != nil {
+		s.b.doneOutstanding(nil)
 		return err
 	}
 	s.e = e
 	if !s.pipe {
-		s.b.inflight.Add(1)
+		s.b.executing.Add(1)
 		err := s.b.run(s.e, C, A, B)
-		s.b.inflight.Add(-1)
+		s.b.executing.Add(-1)
+		s.b.doneOutstanding(nil) // the error is returned to this caller alone
 		return err
 	}
 	slot := &s.slots[s.cur]
@@ -100,14 +113,7 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 	}
 	slot.a.CopyFrom(A) // the packing stage: overlaps the other slot's execution
 	slot.b.CopyFrom(B)
-	ticket, err := s.b.goRun(s.e, C, slot.a, slot.b)
-	if err != nil {
-		// A concurrent Close won the race: this item was staged but never
-		// scheduled. Deferred errors stay for Flush; the caller learns the
-		// push itself failed.
-		return err
-	}
-	slot.ticket = ticket
+	slot.ticket = s.b.goRun(s.e, C, slot.a, slot.b)
 	err = s.err
 	s.err = nil
 	return err
@@ -132,31 +138,19 @@ func (s *Stream) Flush() error {
 
 // goRun executes one staged multiplication on its own goroutine, outside the
 // submit queue (stream ordering lives in the slots), but inside the Workers
-// budget and the batcher's outstanding accounting, so Close still drains
-// active streams. Stream errors are not folded into Batcher.Wait's first
-// error — the stream's own Push/Flush reporting owns them.
-//
-// The closed re-check happens under submitMu, the same lock Close takes
-// before flipping closed: either this goRun registers its outstanding work
-// before Close's Wait starts (and Close drains it), or it observes closed
-// and schedules nothing. Checking closed outside the lock (as Push's
-// fast-path does) is not enough — a push could pass the check, lose the
-// CPU, and schedule work after Close already drained Wait and returned.
-func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) (*Ticket, error) {
+// budget. The caller (Push) already holds the outstanding registration —
+// made before any entry or staging work — and the spawned goroutine
+// releases it, so Close still drains active streams. Stream errors are not
+// folded into Batcher.Wait's first error — the stream's own Push/Flush
+// reporting owns them.
+func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) *Ticket {
 	t := &Ticket{done: make(chan struct{})}
-	b.submitMu.Lock()
-	if b.closed.Load() {
-		b.submitMu.Unlock()
-		return nil, ErrClosed
-	}
-	b.addOutstanding()
-	b.inflight.Add(1)
-	b.submitMu.Unlock()
 	go func() {
+		b.executing.Add(1)
 		t.err = b.run(e, C, A, B)
+		b.executing.Add(-1)
 		close(t.done)
-		b.inflight.Add(-1)
 		b.doneOutstanding(nil)
 	}()
-	return t, nil
+	return t
 }

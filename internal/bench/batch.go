@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastmm/internal/batch"
@@ -14,7 +17,7 @@ import (
 )
 
 func init() {
-	registerExperiment("batch", "batched dispatch: warm Batcher vs per-call Auto vs per-call Multiply across batch sizes and shape families", runBatch)
+	registerExperiment("batch", "batched dispatch: warm Batcher vs per-call Auto vs per-call Multiply across batch sizes and shape families, plus the priority-lane/deadline/width-policy scenario", runBatch)
 }
 
 // runBatch measures what the batched dispatcher buys in the serving regime:
@@ -168,7 +171,170 @@ func runBatch(cfg Config) ([]Point, error) {
 	fmt.Fprintf(out, "  headline: %d × %d^3 same-shape batch — batcher %.2fx throughput vs per-call Auto at %d workers\n",
 		headBatch, headN, asecs/bsecs, w)
 	fmt.Fprintln(out, "  acceptance bar: ≥ 1.3x on the full-size multi-worker run (the win is inter-multiply parallelism; a 1-worker run only measures dispatch overhead)")
-	return all, nil
+
+	lanePts, err := runLaneScenario(cfg, bt)
+	if err != nil {
+		return nil, err
+	}
+	return append(all, lanePts...), nil
+}
+
+// runLaneScenario measures the server-grade submit path: sparse High-lane
+// (interactive) traffic against a saturating Low-lane flood, deadline'd Low
+// items that must expire without occupying a runner, and the width-policy
+// burst. The gating number for cmd/benchtrend is the high-lane latency
+// ratio (under flood vs alone) — a within-run ratio, robust to runner speed
+// the way auto-vs-best is.
+func runLaneScenario(cfg Config, bt *batch.Batcher) ([]Point, error) {
+	w, out := cfg.Workers, cfg.Out
+	laneN := cfg.scaled(256)
+	highItems, expireItems := 8, 16
+	if cfg.Quick {
+		laneN, highItems, expireItems = 128, 4, 8
+	}
+	ring := newOperandRing(laneN, laneN, laneN, 8)
+	if err := timeBatcher(bt, ring, 4); err != nil { // warm the class
+		return nil, err
+	}
+
+	highLatency := func() (float64, error) {
+		var total time.Duration
+		for i := 0; i < highItems; i++ {
+			C, A, B := ring.item(i)
+			start := time.Now()
+			tk, err := bt.SubmitWith(C, A, B, batch.SubmitOpts{Lane: batch.LaneHigh})
+			if err != nil {
+				return 0, err
+			}
+			if err := tk.Wait(); err != nil {
+				return 0, err
+			}
+			total += time.Since(start)
+		}
+		return total.Seconds() / float64(highItems), nil
+	}
+
+	aloneSecs, err := highLatency()
+	if err != nil {
+		return nil, err
+	}
+
+	// The Low-lane flood keeps a sliding window of 2×Workers bulk items
+	// outstanding so the runners are saturated and the Low lane always has
+	// a backlog; strict priority means High items overtake all of it.
+	stop := make(chan struct{})
+	floodErr := make(chan error, 1)
+	go func() {
+		window := 2 * w
+		if window < 4 {
+			window = 4
+		}
+		tickets := make([]*batch.Ticket, window)
+		cs := make([]*mat.Dense, window)
+		for i := range cs {
+			cs[i] = mat.New(laneN, laneN)
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				floodErr <- nil
+				return
+			default:
+			}
+			if tk := tickets[i%window]; tk != nil {
+				if err := tk.Wait(); err != nil {
+					floodErr <- err
+					return
+				}
+			}
+			_, A, B := ring.item(i)
+			tk, err := bt.SubmitWith(cs[i%window], A, B, batch.SubmitOpts{Lane: batch.LaneLow})
+			if err != nil {
+				floodErr <- err
+				return
+			}
+			tickets[i%window] = tk
+		}
+	}()
+
+	loadedSecs, err := highLatency()
+	if err != nil {
+		close(stop)
+		return nil, err
+	}
+
+	// Deadline'd Low items behind the flood's backlog: the deadline is a
+	// quarter of one item's service time, so by the time a runner works
+	// through the Low backlog ahead of them it has passed — they must
+	// resolve with ErrDeadlineExceeded in microseconds instead of occupying
+	// the runner.
+	expiry := time.Duration(aloneSecs * float64(time.Second) / 4)
+	if expiry < 10*time.Microsecond {
+		expiry = 10 * time.Microsecond
+	}
+	var expired atomic.Int64
+	var cbWg sync.WaitGroup
+	for i := 0; i < expireItems; i++ {
+		cbWg.Add(1)
+		C := mat.New(laneN, laneN)
+		_, A, B := ring.item(i)
+		err := bt.SubmitFunc(C, A, B, batch.SubmitOpts{
+			Lane:     batch.LaneLow,
+			Deadline: time.Now().Add(expiry),
+		}, func(err error) {
+			if errors.Is(err, batch.ErrDeadlineExceeded) {
+				expired.Add(1)
+			}
+			cbWg.Done()
+		})
+		if err != nil {
+			close(stop)
+			return nil, err
+		}
+	}
+	cbWg.Wait()
+	close(stop)
+	if err := <-floodErr; err != nil {
+		return nil, err
+	}
+	if err := bt.Wait(); err != nil {
+		return nil, err
+	}
+
+	// Width-policy burst: Workers×4 items submitted at once — exactly the
+	// shape of the pre-fix starvation, where enqueue-time load counting ran
+	// every executing multiply at ~1/4 of its fair width. Info-only trend
+	// series (throughput depends on runner core count).
+	burstItems := 4 * w
+	start := time.Now()
+	if err := timeBatcher(bt, ring, burstItems); err != nil {
+		return nil, err
+	}
+	burstSecs := time.Since(start).Seconds()
+
+	var pts []Point
+	for _, s := range []struct {
+		series string
+		secs   float64
+	}{
+		{"lane-high-alone", aloneSecs},
+		{"lane-high", loadedSecs},
+		{"burst-width", burstSecs / float64(burstItems)},
+	} {
+		eff := effective(laneN, laneN, laneN, s.secs)
+		pts = append(pts, Point{Series: s.series, X: laneN, P: laneN, Q: laneN, R: laneN,
+			Workers: w, Seconds: s.secs, Eff: eff, EffCore: eff / float64(w)})
+	}
+	pts = append(pts, Point{Series: "lane-low-expired", X: expireItems,
+		P: laneN, Q: laneN, R: laneN, Workers: w, Seconds: float64(expired.Load())})
+
+	fmt.Fprintf(out, "  lanes (%d^3): high-lane latency %.1fms alone -> %.1fms under low-lane flood (%.2fx, gated in benchtrend)\n",
+		laneN, aloneSecs*1e3, loadedSecs*1e3, loadedSecs/aloneSecs)
+	fmt.Fprintf(out, "  deadlines: %d/%d deadline'd low-lane items expired without occupying a runner\n",
+		expired.Load(), expireItems)
+	fmt.Fprintf(out, "  width policy: %d-item burst drained at %.1f items/s (width from executing multiplies, not queue depth)\n",
+		burstItems, float64(burstItems)/burstSecs)
+	return pts, nil
 }
 
 // operandRing cycles a few operand pairs and a bounded ring of destinations

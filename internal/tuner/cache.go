@@ -117,8 +117,12 @@ func saveEntries(entries map[string]Plan) error {
 func Entries() map[string]Plan { return loadEntries() }
 
 // ClearCache removes the persisted tuning cache; withProfile also drops the
-// calibration. Missing files are not an error.
+// calibration. Missing files are not an error. It holds the process-wide
+// persistence lock so a clear cannot interleave with remember's
+// load-merge-save and be silently undone by the rewrite.
 func ClearCache(withProfile bool) error {
+	persistMu.Lock()
+	defer persistMu.Unlock()
 	profile, cache, ok := Paths()
 	if !ok {
 		return nil

@@ -1,6 +1,10 @@
 package tuner
 
-import "testing"
+import (
+	"math"
+	"testing"
+	"time"
+)
 
 func TestBucketDim(t *testing.T) {
 	cases := map[int]int{
@@ -21,6 +25,42 @@ func TestBucketDim(t *testing.T) {
 		if d > 4 && float64(got) > 1.27*float64(d) {
 			t.Fatalf("bucketDim(%d) = %d overshoots by more than the grid ratio", d, got)
 		}
+	}
+}
+
+// TestBucketDimHugeTerminates is the overflow regression: once 7<<e wrapped
+// (shift counts at or past the word size yield 0 in Go), the old search loop
+// never terminated for astronomical dimensions. Huge inputs must now return
+// a positive grid value promptly — clamped to the top grid point where the
+// true ceiling would overflow.
+func TestBucketDimHugeTerminates(t *testing.T) {
+	top := 7 << maxBucketExp
+	cases := []int{
+		math.MaxInt, math.MaxInt - 1, math.MaxInt / 2,
+		top, top + 1, top - 1, 1 << (maxBucketExp + 2),
+	}
+	for _, d := range cases {
+		d := d
+		got := make(chan int, 1)
+		go func() { got <- bucketDim(d) }()
+		select {
+		case v := <-got:
+			if v <= 0 {
+				t.Errorf("bucketDim(%d) = %d, want a positive grid value", d, v)
+			}
+			if d <= top && v < d {
+				t.Errorf("bucketDim(%d) = %d understates a representable dimension", d, v)
+			}
+			if d > top && v != top {
+				t.Errorf("bucketDim(%d) = %d, want the top grid point %d", d, v, top)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("bucketDim(%d) did not terminate", d)
+		}
+	}
+	// The clamp is a fixed point too, so classes still partition up there.
+	if bucketDim(top) != top {
+		t.Errorf("top grid point %d is not a fixed point", top)
 	}
 }
 

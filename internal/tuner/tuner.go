@@ -200,9 +200,16 @@ type decision struct {
 	plan Plan
 	be   gemm.Backend   // the plan's leaf backend, resolved at build time
 	exec *core.Executor // nil for classical
+	// failMul, when non-nil, makes multiply fail unconditionally — the
+	// seam the probe-resilience regression test injects a runtime backend
+	// failure through. Never set outside tests.
+	failMul error
 }
 
 func (d *decision) multiply(C, A, B *mat.Dense) error {
+	if d.failMul != nil {
+		return d.failMul
+	}
 	if d.exec != nil {
 		return d.exec.Multiply(C, A, B)
 	}
@@ -225,15 +232,23 @@ type Tuner struct {
 	mu   sync.Mutex
 	lru  *lru
 	disk map[string]Plan
-	// diskMu serializes persistence: the snapshot of t.disk and its write
-	// to the cache file happen under one lock, so a goroutine holding an
-	// older snapshot can never overwrite a newer file (in-process; across
-	// processes the atomic rename makes races lose entries, not integrity).
-	diskMu sync.Mutex
+	// dirty holds only the entries this tuner decided itself (not the
+	// startup-loaded snapshot): it is what persistence writes, so saving
+	// never resurrects entries another process — or `fmmtune clear` —
+	// removed from the file since we loaded it.
+	dirty map[string]Plan
 
 	modelMu sync.Mutex
 	models  map[modelKey]*costmodel.Model
 }
+
+// persistMu serializes tuning-cache persistence process-wide: the resource it
+// guards is one shared file, and tuners are routinely plural in-process (the
+// batcher builds one per internal width), so a per-Tuner lock could not make
+// the load-merge-save read-modify-write atomic. Under it, a goroutine holding
+// an older view can never overwrite a newer file; across processes the atomic
+// rename makes races lose entries, not integrity.
+var persistMu sync.Mutex
 
 type modelKey struct {
 	name  string
@@ -254,6 +269,7 @@ func New(opts Options) (*Tuner, error) {
 		opts:   opts,
 		lru:    newLRU(lruSize),
 		disk:   map[string]Plan{},
+		dirty:  map[string]Plan{},
 		models: map[modelKey]*costmodel.Model{},
 	}
 	switch {
@@ -434,7 +450,15 @@ func (t *Tuner) decide(m, k, n int) (*decision, error) {
 }
 
 // remember installs a decision in the LRU and, when persist is set, appends
-// it to the disk cache (best-effort).
+// it to the disk cache (best-effort). Persistence merges on save: the cache
+// file is re-read under the process-wide persistMu and unioned with the
+// entries this tuner decided itself (its dirty set — not the startup-loaded
+// snapshot, which would resurrect entries removed from the file since), so
+// two in-process tuners with different option sets (disjoint key suffixes)
+// writing decisions — interleaved or concurrent — never clobber each
+// other's freshly persisted plans; last-writer-wins applies per entry, not
+// per file. (Across processes the atomic rename still means a racing writer
+// can lose entries, never file integrity.)
 func (t *Tuner) remember(key string, d *decision, persist bool) {
 	t.mu.Lock()
 	t.lru.add(key, d)
@@ -442,16 +466,21 @@ func (t *Tuner) remember(key string, d *decision, persist bool) {
 	if !persist || t.opts.NoDiskCache {
 		return
 	}
-	t.diskMu.Lock()
-	defer t.diskMu.Unlock()
+	persistMu.Lock()
+	defer persistMu.Unlock()
 	t.mu.Lock()
 	t.disk[key] = d.plan
-	snapshot := make(map[string]Plan, len(t.disk))
-	for k, v := range t.disk {
+	t.dirty[key] = d.plan
+	snapshot := make(map[string]Plan, len(t.dirty))
+	for k, v := range t.dirty {
 		snapshot[k] = v
 	}
 	t.mu.Unlock()
-	_ = saveEntries(snapshot)
+	merged := loadEntries()
+	for k, v := range snapshot {
+		merged[k] = v // this tuner's own decisions win for its own keys
+	}
+	_ = saveEntries(merged)
 }
 
 // Rank enumerates the candidate plans for a shape — every leaf backend ×
@@ -741,7 +770,7 @@ func (t *Tuner) pick(ranked []Plan, m, k, n int) (*decision, error) {
 	if t.opts.ProbeTopK == NoProbes || len(survivors) == 1 {
 		return survivors[0], nil
 	}
-	return t.probe(survivors, m, k, n), nil
+	return t.probe(survivors, m, k, n)
 }
 
 // probe times each surviving decision on deterministic random operands of
@@ -750,7 +779,14 @@ func (t *Tuner) pick(ranked []Plan, m, k, n int) (*decision, error) {
 // cost is amortized by the disk cache. A positive ProbeBudget additionally
 // stops the sweep once the wall-clock budget is spent; with no probe
 // completed the model's top pick (survivors[0]) wins by ranking.
-func (t *Tuner) probe(survivors []*decision, m, k, n int) *decision {
+//
+// A survivor whose probe multiply fails at run time — a backend that built
+// fine but misbehaves on this machine, e.g. a blas plan over a broken
+// library — is skipped and its error recorded, never fatal (earlier code
+// called this unreachable and panicked the process). The winner comes from
+// the remaining survivors; only when every survivor failed does the first
+// error surface to the caller.
+func (t *Tuner) probe(survivors []*decision, m, k, n int) (*decision, error) {
 	var deadline time.Time
 	if t.opts.ProbeBudget > 0 {
 		deadline = time.Now().Add(t.opts.ProbeBudget)
@@ -761,23 +797,40 @@ func (t *Tuner) probe(survivors []*decision, m, k, n int) *decision {
 	B.FillRandom(rng)
 
 	var best *decision
-	for _, d := range survivors {
+	var firstErr error
+	failed := make([]bool, len(survivors))
+	for i, d := range survivors {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
 		}
 		d := d
+		var probeErr error
 		secs := bestTime(t.opts.ProbeTrials, func() {
-			if err := d.multiply(C, A, B); err != nil {
-				panic(err) // plans were built for these dims; unreachable
+			if err := d.multiply(C, A, B); err != nil && probeErr == nil {
+				probeErr = err
 			}
 		})
+		if probeErr != nil {
+			failed[i] = true
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tuner: probing %s: %w", d.plan, probeErr)
+			}
+			continue
+		}
 		d.plan.MeasuredSeconds = secs
 		if best == nil || secs < best.plan.MeasuredSeconds {
 			best = d
 		}
 	}
-	if best == nil {
-		return survivors[0]
+	if best != nil {
+		return best, nil
 	}
-	return best
+	// No successful probe: fall back to the model ranking among survivors
+	// that did not fail (unprobed because the budget ran out first).
+	for i, d := range survivors {
+		if !failed[i] {
+			return d, nil
+		}
+	}
+	return nil, firstErr
 }

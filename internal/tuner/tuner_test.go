@@ -1,10 +1,12 @@
 package tuner
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -513,5 +515,137 @@ func TestEntryAndForget(t *testing.T) {
 	}
 	if e2.Plan().Algorithm != e.Plan().Algorithm {
 		t.Fatalf("re-tuned plan diverged: %v vs %v", e2.Plan(), e.Plan())
+	}
+}
+
+// TestProbeSkipsFailingSurvivor is the probe-resilience regression: a
+// survivor whose multiply fails at run time (a backend that built fine but
+// misbehaves on this machine) must be skipped — recorded, never a process
+// panic — and the winner must come from the remaining survivors.
+func TestProbeSkipsFailingSurvivor(t *testing.T) {
+	tn := mustTuner(t, Options{Workers: 1, Profile: testProfile(1), NoDiskCache: true})
+	mkDecision := func() *decision {
+		d, err := tn.build(tn.classicalPlan(64, 64, 64, gemm.Default()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	bad := mkDecision()
+	bad.failMul = errors.New("backend exploded at run time")
+	good := mkDecision()
+
+	// The failing candidate ranks first; on the old code its probe panicked
+	// the process ("unreachable").
+	got, err := tn.probe([]*decision{bad, good}, 64, 64, 64)
+	if err != nil {
+		t.Fatalf("probe with one failing survivor must fall back, got error %v", err)
+	}
+	if got != good {
+		t.Fatalf("probe chose the failing survivor")
+	}
+	if got.plan.MeasuredSeconds <= 0 {
+		t.Fatalf("the surviving candidate was never timed: %+v", got.plan)
+	}
+
+	// Every survivor failing surfaces the recorded error instead of an
+	// arbitrary broken winner.
+	bad2 := mkDecision()
+	bad2.failMul = errors.New("also broken")
+	if _, err := tn.probe([]*decision{bad, bad2}, 64, 64, 64); err == nil {
+		t.Fatal("all-failing survivors must surface an error")
+	} else if !strings.Contains(err.Error(), "backend exploded") {
+		t.Fatalf("the recorded error must name the first failure, got %v", err)
+	}
+}
+
+// TestRememberMergesOnSave is the cache-clobbering regression: two
+// in-process tuners with different option sets (disjoint cache-key
+// suffixes) interleaving fresh decisions must both end up in the persisted
+// file. The old code snapshotted only its own t.disk map, so the last
+// writer dropped the other tuner's freshly persisted plans wholesale.
+func TestRememberMergesOnSave(t *testing.T) {
+	t.Setenv(EnvCacheDir, t.TempDir())
+
+	// Build both tuners before any decision is made, so neither starts out
+	// having loaded the other's entries (the interleaving the bug needs).
+	optsA := Options{Workers: 1, Profile: testProfile(1), ProbeTopK: NoProbes}
+	optsB := Options{Workers: 1, Profile: testProfile(1), ProbeTopK: NoProbes, MaxSteps: 2}
+	ta := mustTuner(t, optsA)
+	tb := mustTuner(t, optsB)
+	if ta.keySuffix == tb.keySuffix {
+		t.Fatal("test setup: the two option sets must have distinct cache keys")
+	}
+
+	shapes := [][3]int{{192, 192, 192}, {256, 256, 256}, {320, 320, 320}}
+	var wantKeys []string
+	for i, s := range shapes {
+		tn := ta
+		if i%2 == 1 {
+			tn = tb // interleave writers
+		}
+		if _, err := tn.PlanFor(s[0], s[1], s[2]); err != nil {
+			t.Fatal(err)
+		}
+		wantKeys = append(wantKeys, tn.key(s[0], s[1], s[2]))
+	}
+
+	persisted := Entries()
+	for _, key := range wantKeys {
+		if _, ok := persisted[key]; !ok {
+			t.Errorf("persisted cache lost entry %s (a later writer clobbered the file)", key)
+		}
+	}
+	if len(persisted) < len(wantKeys) {
+		t.Fatalf("persisted cache holds %d entries, want ≥ %d", len(persisted), len(wantKeys))
+	}
+
+	// Concurrent writers: the load-merge-save must be atomic across Tuner
+	// instances (the persistence lock is process-wide, not per tuner — a
+	// batcher builds one tuner per internal width, all sharing one file).
+	conc := [][3]int{{384, 384, 384}, {448, 448, 448}, {512, 512, 512}, {640, 640, 640}}
+	var wg sync.WaitGroup
+	for i, tn := range []*Tuner{ta, tb} {
+		wg.Add(1)
+		go func(i int, tn *Tuner) {
+			defer wg.Done()
+			for j := i; j < len(conc); j += 2 {
+				s := conc[j]
+				if _, err := tn.PlanFor(s[0], s[1], s[2]); err != nil {
+					t.Errorf("concurrent PlanFor %v: %v", s, err)
+				}
+			}
+		}(i, tn)
+	}
+	wg.Wait()
+	persisted = Entries()
+	for j, s := range conc {
+		tn := ta
+		if j%2 == 1 {
+			tn = tb
+		}
+		if _, ok := persisted[tn.key(s[0], s[1], s[2])]; !ok {
+			t.Errorf("concurrent writers lost persisted entry for %v", s)
+		}
+	}
+
+	// The merge must not resurrect externally removed entries: a tuner
+	// that loaded the populated file at construction, then decides a new
+	// shape after an operator's cache clear, must persist only entries it
+	// decided itself — saving its startup-loaded snapshot back would undo
+	// `fmmtune clear` wholesale.
+	tc := mustTuner(t, optsA) // startup snapshot holds every entry so far
+	if err := ClearCache(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.PlanFor(896, 896, 896); err != nil {
+		t.Fatal(err)
+	}
+	persisted = Entries()
+	if _, ok := persisted[tc.key(896, 896, 896)]; !ok {
+		t.Error("fresh decision after a clear was not persisted")
+	}
+	if len(persisted) != 1 {
+		t.Errorf("save resurrected %d cleared entries (file should hold only the fresh decision)", len(persisted)-1)
 	}
 }
