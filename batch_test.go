@@ -8,6 +8,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -131,6 +132,8 @@ func TestBatcherAndAutoHammer(t *testing.T) {
 		{96, 96, 96}, {130, 70, 110}, {160, 160, 160}, {97, 131, 89},
 		{224, 96, 144}, {64, 200, 64},
 	}
+	lanes := []fastmm.Lane{fastmm.LaneNormal, fastmm.LaneHigh, fastmm.LaneLow}
+	var laneSubmitted [fastmm.BatchNumLanes]atomic.Int64
 	const goroutines = 8
 	iters := 6
 	if testing.Short() {
@@ -171,11 +174,23 @@ func TestBatcherAndAutoHammer(t *testing.T) {
 				}
 
 				C3 := fastmm.NewMatrix(s[0], s[2])
-				tk, err := b.Submit(C3, A, B)
+				lane := lanes[(g+i)%len(lanes)]
+				opts := fastmm.SubmitOpts{Lane: lane}
+				if i%2 == 0 {
+					opts.Deadline = time.Now().Add(time.Hour) // generous: must not expire
+				}
+				tk, err := b.SubmitWith(C3, A, B, opts)
+				if errors.Is(err, fastmm.ErrAdmissionDenied) {
+					// A generous deadline must never be shed; an hour of queued
+					// backlog here would be a calibration disaster.
+					t.Errorf("hammer g%d i%d: hour-long deadline rejected", g, i)
+					continue
+				}
 				if err != nil {
 					errs <- err
 					return
 				}
+				laneSubmitted[lane].Add(1)
 				if err := tk.Wait(); err != nil {
 					errs <- err
 					return
@@ -193,6 +208,50 @@ func TestBatcherAndAutoHammer(t *testing.T) {
 	}
 	if err := b.Wait(); err != nil {
 		t.Fatal(err)
+	}
+
+	// At quiescence the public Stats snapshot must satisfy the per-lane
+	// conservation invariant exactly, and agree with the submissions the
+	// hammer actually made.
+	st := b.Stats()
+	var totalDone int64
+	for l, ls := range st.Lanes {
+		lane := fastmm.Lane(l)
+		if ls.Queued != 0 || ls.Executing != 0 {
+			t.Fatalf("lane %v not quiescent: queued=%d executing=%d", lane, ls.Queued, ls.Executing)
+		}
+		if ls.Submitted != ls.Done+ls.Expired+ls.Rejected {
+			t.Fatalf("lane %v conservation: submitted=%d done=%d expired=%d rejected=%d",
+				lane, ls.Submitted, ls.Done, ls.Expired, ls.Rejected)
+		}
+		if ls.Submitted != laneSubmitted[lane].Load() {
+			t.Fatalf("lane %v submitted=%d, hammer made %d", lane, ls.Submitted, laneSubmitted[lane].Load())
+		}
+		if ls.QueueWait.Count != ls.Done || ls.Service.Count != ls.Done {
+			t.Fatalf("lane %v histogram counts (%d, %d) != done %d",
+				lane, ls.QueueWait.Count, ls.Service.Count, ls.Done)
+		}
+		totalDone += ls.Done
+	}
+	if totalDone == 0 {
+		t.Fatal("hammer completed no async items")
+	}
+	if st.SyncDone == 0 {
+		t.Fatal("hammer completed no sync items")
+	}
+	var backendTotal int64
+	for _, c := range st.Backends {
+		backendTotal += c
+	}
+	if backendTotal != totalDone+st.SyncDone+st.StreamDone {
+		t.Fatalf("backend mix %d executions, counters say %d",
+			backendTotal, totalDone+st.SyncDone+st.StreamDone)
+	}
+	if hr := st.WarmHitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hammer warm hit rate = %g, want in (0, 1)", hr)
+	}
+	if st.EffectiveGFLOPS <= 0 || st.BusySeconds <= 0 {
+		t.Fatalf("throughput metrics empty: %g GFLOPS over %gs", st.EffectiveGFLOPS, st.BusySeconds)
 	}
 }
 
@@ -250,5 +309,140 @@ func TestSubmitWithPublicSurface(t *testing.T) {
 	}
 	if _, err := b.SubmitWith(C, A, B, fastmm.SubmitOpts{}); !errors.Is(err, fastmm.ErrBatcherClosed) {
 		t.Fatalf("SubmitWith after Close: got %v, want fastmm.ErrBatcherClosed", err)
+	}
+}
+
+// TestBatcherStatsPublicSurface exercises the observability aliases:
+// BatchStats/BatchLaneStats/BatchHistogram, BatchHistogramBounds, and the
+// snapshot's cross-field consistency after a known mix of traffic.
+func TestBatcherStatsPublicSurface(t *testing.T) {
+	if fastmm.ErrAdmissionDenied == nil {
+		t.Fatal("fastmm must re-export ErrAdmissionDenied")
+	}
+	if errors.Is(fastmm.ErrAdmissionDenied, fastmm.ErrDeadlineExceeded) {
+		t.Fatal("admission rejection and deadline expiry must be distinct errors")
+	}
+	bounds := fastmm.BatchHistogramBounds()
+	if len(bounds) == 0 || bounds[0] != time.Microsecond {
+		t.Fatalf("BatchHistogramBounds()[0] = %v, want 1µs", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("histogram bounds not increasing at %d: %v ≤ %v", i, bounds[i], bounds[i-1])
+		}
+	}
+
+	b, err := fastmm.NewBatcher(batchTestOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 96
+	A := fastmm.RandomMatrix(n, n, 7)
+	B := fastmm.RandomMatrix(n, n, 8)
+	C := fastmm.NewMatrix(n, n)
+	if err := b.Multiply(C, A, B); err != nil { // sync path
+		t.Fatal(err)
+	}
+	tk, err := b.SubmitWith(fastmm.NewMatrix(n, n), A, B, fastmm.SubmitOpts{Lane: fastmm.LaneHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// An item already past its deadline expires without executing.
+	tk, err = b.SubmitWith(fastmm.NewMatrix(n, n), A, B, fastmm.SubmitOpts{
+		Lane:     fastmm.LaneLow,
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); !errors.Is(err, fastmm.ErrDeadlineExceeded) {
+		t.Fatalf("expired item: %v", err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	var st fastmm.BatchStats = b.Stats()
+	var high fastmm.BatchLaneStats = st.Lanes[fastmm.LaneHigh]
+	if high.Submitted != 1 || high.Done != 1 {
+		t.Fatalf("High lane = %+v, want 1 submitted / 1 done", high)
+	}
+	if low := st.Lanes[fastmm.LaneLow]; low.Expired != 1 || low.Done != 0 {
+		t.Fatalf("Low lane = %+v, want 1 expired / 0 done", low)
+	}
+	if st.SyncDone != 1 {
+		t.Fatalf("SyncDone = %d, want 1", st.SyncDone)
+	}
+	var svc fastmm.BatchHistogram = high.Service
+	if svc.Count != 1 || svc.Quantile(0.5) <= 0 || svc.Mean() <= 0 {
+		t.Fatalf("High service histogram = %+v, want one positive observation", svc)
+	}
+	if st.WarmEntries == 0 || st.WarmMisses == 0 {
+		t.Fatalf("warm pool untouched: %d entries, %d misses", st.WarmEntries, st.WarmMisses)
+	}
+}
+
+// TestAdmissionDeniedPublicSurface drives a real rejection through the public
+// API: a single-worker batcher whose runner is pinned by a huge no-deadline
+// backlog must shed a deadline'd item it cannot possibly start in time. The
+// assertion is tolerant of scheduling (if the backlog drained improbably
+// fast the item is simply admitted) but the usual path exercises
+// fastmm.ErrAdmissionDenied end to end.
+func TestAdmissionDeniedPublicSurface(t *testing.T) {
+	opts := batchTestOpts(1)
+	opts.QueueDepth = 128
+	b, err := fastmm.NewBatcher(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 256
+	A := fastmm.RandomMatrix(n, n, 9)
+	B := fastmm.RandomMatrix(n, n, 10)
+	for i := 0; i < 2; i++ { // observe real service times into the estimator
+		if err := b.Multiply(fastmm.NewMatrix(n, n), A, B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ { // a deep no-deadline backlog pins the runner
+		if _, err := b.SubmitWith(fastmm.NewMatrix(n, n), A, B, fastmm.SubmitOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rejected := false
+	tk, err := b.SubmitWith(fastmm.NewMatrix(n, n), A, B, fastmm.SubmitOpts{
+		Deadline: time.Now().Add(time.Millisecond),
+	})
+	switch {
+	case errors.Is(err, fastmm.ErrAdmissionDenied):
+		rejected = true
+		if tk != nil {
+			t.Fatal("a rejected submission must not produce a Ticket")
+		}
+	case err != nil:
+		t.Fatal(err)
+	default:
+		// Admitted (or the deadline passed before screening): the ticket
+		// resolves either way, possibly with an expiry.
+		if werr := tk.Wait(); werr != nil && !errors.Is(werr, fastmm.ErrDeadlineExceeded) {
+			t.Fatal(werr)
+		}
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if rejected && st.Lanes[fastmm.LaneNormal].Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", st.Lanes[fastmm.LaneNormal].Rejected)
+	}
+	ls := st.Lanes[fastmm.LaneNormal]
+	if ls.Submitted != ls.Done+ls.Expired+ls.Rejected {
+		t.Fatalf("conservation after drain: %+v", ls)
 	}
 }

@@ -18,12 +18,26 @@
 // Batcher-vs-auto throughput speedups and the total bench wall time are
 // reported as information but never gate (they depend on runner core count).
 //
+// Two baseline modes:
+//
+//   - pair mode (-prev): gate against the single previous run's report —
+//     the original consecutive-pairs gate;
+//   - history mode (-history): keep a JSONL file of every run's extracted
+//     metrics and gate against the MEDIAN of the last -window (default 5)
+//     runs. One noisy baseline run can no longer flag (or mask) a
+//     regression: the gate compares against the recent trend, not a single
+//     sample. The current run is appended to the history after comparison
+//     (bounded to the newest historyKeep entries), so CI just round-trips
+//     the file as an artifact.
+//
 // Usage:
 //
 //	benchtrend -prev prev/BENCH_ci.json -cur BENCH_ci.json [-max-regress 0.15]
+//	benchtrend -history bench_history.jsonl -cur BENCH_ci.json [-window 5]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,18 +64,19 @@ type metric struct {
 	gate     bool
 }
 
+// historyKeep bounds the history file: only the newest entries survive an
+// append, so the artifact cannot grow without bound.
+const historyKeep = 50
+
 func main() {
-	prevPath := flag.String("prev", "", "previous run's fmmbench -json report")
+	prevPath := flag.String("prev", "", "previous run's fmmbench -json report (pair mode)")
 	curPath := flag.String("cur", "", "current run's fmmbench -json report")
+	historyPath := flag.String("history", "", "JSONL metric history (history mode: gate on the median of the last -window runs, then append the current run)")
+	window := flag.Int("window", 5, "history runs the median baseline covers")
 	maxRegress := flag.Float64("max-regress", 0.15, "relative regression that fails the build")
 	flag.Parse()
-	if *prevPath == "" || *curPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtrend -prev <old.json> -cur <new.json> [-max-regress 0.15]")
-		os.Exit(2)
-	}
-	prev, err := load(*prevPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+	if *curPath == "" || (*prevPath == "") == (*historyPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: benchtrend (-prev <old.json> | -history <hist.jsonl>) -cur <new.json> [-window 5] [-max-regress 0.15]")
 		os.Exit(2)
 	}
 	cur, err := load(*curPath)
@@ -69,14 +84,130 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
 		os.Exit(2)
 	}
-	regressions := compare(os.Stdout, extract(prev), extract(cur), *maxRegress)
-	fmt.Printf("bench cost: %.1fs -> %.1fs\n", prev.TotalSeconds, cur.TotalSeconds)
+	curMetrics := extract(cur)
+
+	var regressions int
+	if *historyPath != "" {
+		hist, err := loadHistory(*historyPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(2)
+		}
+		regressions = compare(os.Stdout, medianBaseline(hist, *window), curMetrics, *maxRegress)
+		fmt.Printf("bench history: %d prior run(s), median window %d\n", len(hist), *window)
+		if err := appendHistory(*historyPath, hist, curMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		prev, err := load(*prevPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(2)
+		}
+		regressions = compare(os.Stdout, extract(prev), curMetrics, *maxRegress)
+		fmt.Printf("bench cost: %.1fs -> %.1fs\n", prev.TotalSeconds, cur.TotalSeconds)
+	}
 	if regressions > 0 {
-		fmt.Printf("::warning title=bench trend::%d metric(s) regressed by more than %.0f%% vs the previous run\n",
+		fmt.Printf("::warning title=bench trend::%d metric(s) regressed by more than %.0f%% vs the baseline\n",
 			regressions, *maxRegress*100)
 		os.Exit(1)
 	}
 	fmt.Println("bench trend: no gating regressions")
+}
+
+// historyEntry is one run's extracted metric values — the JSONL line format
+// of the -history file. Only values are stored: gating policy and slack come
+// from the current binary's extract(), so policy changes apply to old
+// history immediately.
+type historyEntry struct {
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// loadHistory reads a JSONL history file; a missing file is an empty
+// history (the first run bootstraps it), a malformed line is an error.
+func loadHistory(path string) ([]historyEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []historyEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e historyEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// appendHistory rewrites the history with the current run appended, keeping
+// only the newest historyKeep entries.
+func appendHistory(path string, hist []historyEntry, cur map[string]metric) error {
+	vals := make(map[string]float64, len(cur))
+	for k, m := range cur {
+		vals[k] = m.value
+	}
+	hist = append(hist, historyEntry{Metrics: vals})
+	if len(hist) > historyKeep {
+		hist = hist[len(hist)-historyKeep:]
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, e := range hist {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// medianBaseline folds the last `window` history entries into one baseline
+// per metric: the median of the runs that recorded it. Robust to a single
+// outlier run in a way pair mode cannot be; a metric absent from the whole
+// window has no baseline (compare reports it as new).
+func medianBaseline(hist []historyEntry, window int) map[string]metric {
+	if window <= 0 {
+		window = 1
+	}
+	if len(hist) > window {
+		hist = hist[len(hist)-window:]
+	}
+	samples := map[string][]float64{}
+	for _, e := range hist {
+		for k, v := range e.Metrics {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	out := make(map[string]metric, len(samples))
+	for k, vs := range samples {
+		out[k] = metric{value: median(vs)}
+	}
+	return out
+}
+
+// median returns the middle value (mean of the middle pair for even counts).
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 func load(path string) (report, error) {
@@ -171,6 +302,12 @@ func extract(r report) map[string]metric {
 					laneAlone = pt.Seconds
 				case "lane-low-expired":
 					out["lane expired deadlines"] = metric{value: pt.Seconds, gate: false}
+				case "lane-low-rejected":
+					// Doomed deadline'd items shed at submit by admission
+					// control (vs expiring in the queue). Info-only: the
+					// expired/rejected split depends on how fast the
+					// estimator converges on the runner's speed.
+					out["lane admission rejections"] = metric{value: pt.Seconds, gate: false}
 				case "burst-width":
 					// The width-policy burst (Workers×4 submitted at once):
 					// per-item drain seconds. Info-only — throughput depends

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"math"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"fastmm/internal/bench"
@@ -32,7 +34,8 @@ func laneReport(autoSecs, allocs, batcherSecs, laneHighSecs float64) report {
 			{Series: "auto-loop", P: 384, Q: 384, R: 384, X: 64, Seconds: 2.0},
 			{Series: "lane-high-alone", P: 256, Q: 256, R: 256, X: 256, Seconds: 0.010},
 			{Series: "lane-high", P: 256, Q: 256, R: 256, X: 256, Seconds: laneHighSecs},
-			{Series: "lane-low-expired", P: 256, Q: 256, R: 256, X: 16, Seconds: 16},
+			{Series: "lane-low-expired", P: 256, Q: 256, R: 256, X: 16, Seconds: 11},
+			{Series: "lane-low-rejected", P: 256, Q: 256, R: 256, X: 16, Seconds: 5},
 			{Series: "burst-width", P: 256, Q: 256, R: 256, X: 16, Seconds: 0.004},
 		}},
 	}
@@ -56,8 +59,11 @@ func TestExtract(t *testing.T) {
 	if got := m["lane high-latency ratio"]; got.value != 2.0 || !got.gate {
 		t.Fatalf("lane latency ratio must gate: %+v", got)
 	}
-	if got := m["lane expired deadlines"]; got.value != 16 || got.gate {
+	if got := m["lane expired deadlines"]; got.value != 11 || got.gate {
 		t.Fatalf("expired-deadline count must be informational: %+v", got)
+	}
+	if got := m["lane admission rejections"]; got.value != 5 || got.gate {
+		t.Fatalf("admission-rejection count must be informational: %+v", got)
 	}
 	if got := m["batch burst secs/item"]; got.value != 0.004 || got.gate {
 		t.Fatalf("burst-width metric must be informational: %+v", got)
@@ -124,5 +130,111 @@ func TestCompare(t *testing.T) {
 	// A missing baseline is skipped, not a failure.
 	if n := compare(devnull, map[string]metric{}, extract(testReport(1.0, 2, 1.0)), 0.15); n != 0 {
 		t.Fatalf("missing baseline flagged: %d", n)
+	}
+}
+
+// histFile writes a synthetic JSONL history of auto-vs-best ratio samples
+// and returns its path.
+func histFile(t *testing.T, ratios []float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	var hist []historyEntry
+	for _, r := range ratios {
+		if err := appendHistory(path, hist, extract(testReport(r, 2, 1.0))); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if hist, err = loadHistory(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestMedianBaseline(t *testing.T) {
+	hist, err := loadHistory(histFile(t, []float64{1.0, 1.1, 5.0, 1.2, 1.1, 1.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 6 {
+		t.Fatalf("history length = %d, want 6", len(hist))
+	}
+	// Window 5 drops the oldest run and medians {1.1, 5.0, 1.2, 1.1, 1.0}:
+	// the 5.0 outlier cannot drag the baseline (median 1.1).
+	base := medianBaseline(hist, 5)
+	if got := base["auto-vs-best 384x384x384"].value; got != 1.1 {
+		t.Fatalf("median baseline = %g, want 1.1", got)
+	}
+	// An even window averages the middle pair: {1.2, 1.1} -> 1.15.
+	base = medianBaseline(hist, 4)
+	if got := base["auto-vs-best 384x384x384"].value; math.Abs(got-1.15) > 1e-12 {
+		t.Fatalf("even-window median = %g, want 1.15", got)
+	}
+	// A window wider than the history uses all of it.
+	base = medianBaseline(hist, 100)
+	if got := base["auto-vs-best 384x384x384"].value; math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("wide-window median = %g, want 1.1", got)
+	}
+}
+
+// TestHistoryGating drives the history mode end to end over synthetic
+// files: a stable trend with one outlier must not flag a normal run (the
+// outlier is the pair-mode failure this mode exists to fix), while a real
+// regression against the median must.
+func TestHistoryGating(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	// Trend ~1.1 with a 5.0 outlier as the most recent run. In pair mode the
+	// outlier baseline would mask any regression; the median ignores it.
+	hist, err := loadHistory(histFile(t, []float64{1.1, 1.0, 1.1, 1.2, 5.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := medianBaseline(hist, 5)
+	if n := compare(devnull, base, extract(testReport(1.15, 2, 1.0)), 0.15); n != 0 {
+		t.Fatalf("normal run flagged against median baseline: %d", n)
+	}
+	if n := compare(devnull, base, extract(testReport(2.0, 2, 1.0)), 0.15); n != 1 {
+		t.Fatalf("regression vs median not flagged: %d", n)
+	}
+}
+
+// TestHistoryRoundTrip pins the JSONL plumbing: append then load preserves
+// values, missing files are empty histories, and the file is bounded to
+// historyKeep entries.
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if hist, err := loadHistory(path); err != nil || hist != nil {
+		t.Fatalf("missing history = (%v, %v), want empty", hist, err)
+	}
+	var hist []historyEntry
+	for i := 0; i < historyKeep+7; i++ {
+		if err := appendHistory(path, hist, extract(testReport(1.0+float64(i), 2, 1.0))); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if hist, err = loadHistory(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(hist) != historyKeep {
+		t.Fatalf("history grew to %d entries, want bounded at %d", len(hist), historyKeep)
+	}
+	// The newest entries survive the trim.
+	last := hist[len(hist)-1].Metrics["auto-vs-best 384x384x384"]
+	if want := 1.0 + float64(historyKeep+6); last != want {
+		t.Fatalf("newest entry = %g, want %g", last, want)
+	}
+	// Malformed lines are reported, not skipped.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHistory(bad); err == nil {
+		t.Fatal("malformed history line must error")
 	}
 }

@@ -7,21 +7,29 @@
 // comparison, a same-shape burst goes through the pipelined Stream, and a
 // final mixed-load section exercises the server-grade submit path: sparse
 // High-lane interactive requests stay fast against a Low-lane bulk flood,
-// deadline'd Low items expire instead of occupying runners, and completion
-// callbacks resolve requests with no ticket bookkeeping.
+// deadline'd Low items are shed — rejected at submit by admission control
+// when the backlog already dooms them, or expired in the queue — instead of
+// occupying runners, and completion callbacks resolve requests with no
+// ticket bookkeeping. The run ends with the batcher's Stats snapshot:
+// per-lane conservation counters and queue-wait/service p50/p95, warm-pool
+// hit rate, backend mix, and the paper's Eq. (3) effective GFLOPS.
 //
-//	go run ./examples/serving [requests]
+//	go run ./examples/serving [-requests 64] [-http :8765]
+//
+// With -http the process keeps serving the live Stats snapshot as JSON on
+// /debug/fastmm (expvar-style: curl it while the demo runs, or after).
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"os"
+	"net/http"
 	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,10 +48,10 @@ var families = [][3]int{
 }
 
 func main() {
-	requests := 64
-	if len(os.Args) > 1 {
-		requests, _ = strconv.Atoi(os.Args[1])
-	}
+	reqFlag := flag.Int("requests", 64, "mixed-shape requests to serve")
+	httpAddr := flag.String("http", "", "serve the live Stats snapshot as JSON on this address (/debug/fastmm) and stay up after the demo")
+	flag.Parse()
+	requests := *reqFlag
 	workers := runtime.GOMAXPROCS(0)
 
 	batcher, err := fastmm.NewBatcher(fastmm.BatchOptions{
@@ -54,6 +62,20 @@ func main() {
 		log.Fatal(err)
 	}
 	defer batcher.Close()
+
+	if *httpAddr != "" {
+		// Expvar-style observability: the snapshot is assembled per request
+		// from the batcher's atomic counters, so polling it costs the hot
+		// path nothing.
+		http.HandleFunc("/debug/fastmm", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(batcher.Stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() { log.Fatal(http.ListenAndServe(*httpAddr, nil)) }()
+		fmt.Printf("stats endpoint: http://%s/debug/fastmm\n", *httpAddr)
+	}
 
 	rng := rand.New(rand.NewSource(42))
 	type req struct{ C, A, B *fastmm.Matrix }
@@ -127,7 +149,7 @@ func main() {
 	// must overtake the backlog. Completion callbacks (SubmitFunc) resolve
 	// everything — no tickets held anywhere.
 	const interactive = 12
-	var bulkDone, bulkExpired atomic.Int64
+	var bulkDone, bulkExpired, bulkRejected atomic.Int64
 	stopFlood := make(chan struct{})
 	var floodWg sync.WaitGroup
 	floodWg.Add(1)
@@ -142,8 +164,11 @@ func main() {
 			case window <- struct{}{}:
 			}
 			// Every fourth bulk item carries a tight freshness deadline:
-			// under saturation it expires (ErrDeadlineExceeded) instead of
-			// occupying a runner — stale speculative work costs nothing.
+			// under saturation it is shed — rejected at submit once the
+			// estimator knows the backlog ahead dooms it, or expired in the
+			// queue (ErrDeadlineExceeded) before admission has calibrated —
+			// instead of occupying a runner: stale speculative work costs
+			// nothing.
 			opts := fastmm.SubmitOpts{Lane: fastmm.LaneLow}
 			if i%4 == 3 {
 				opts.Deadline = time.Now().Add(2 * time.Millisecond)
@@ -157,6 +182,13 @@ func main() {
 				}
 				<-window
 			})
+			if errors.Is(err, fastmm.ErrAdmissionDenied) {
+				// Shed at submit: no callback will fire, so release the
+				// window slot here and keep flooding.
+				bulkRejected.Add(1)
+				<-window
+				continue
+			}
 			if err != nil {
 				return
 			}
@@ -186,6 +218,30 @@ func main() {
 	sort.Float64s(latencies)
 	p50 := latencies[len(latencies)/2]
 	p95 := latencies[len(latencies)*95/100]
-	fmt.Printf("lanes under load: %d high-lane requests at p50 %.1fms / p95 %.1fms while %d low-lane bulk items ran and %d deadline'd ones expired unexecuted\n",
-		interactive, p50*1e3, p95*1e3, bulkDone.Load(), bulkExpired.Load())
+	fmt.Printf("lanes under load: %d high-lane requests at p50 %.1fms / p95 %.1fms while %d low-lane bulk items ran; %d deadline'd ones shed (%d admission-rejected, %d expired queued)\n",
+		interactive, p50*1e3, p95*1e3, bulkDone.Load(),
+		bulkExpired.Load()+bulkRejected.Load(), bulkRejected.Load(), bulkExpired.Load())
+
+	// The batcher's own view of the whole run: Stats() is the operational
+	// surface a real service would scrape (or poll via -http).
+	st := batcher.Stats()
+	fmt.Printf("stats: warm hit rate %.0f%%, %d warm classes, %.1f effective GFLOPS over %.2fs busy, backends %v, sync/stream done %d/%d\n",
+		100*st.WarmHitRate(), st.WarmEntries, st.EffectiveGFLOPS, st.BusySeconds,
+		st.Backends, st.SyncDone, st.StreamDone)
+	laneName := map[fastmm.Lane]string{fastmm.LaneHigh: "high", fastmm.LaneNormal: "normal", fastmm.LaneLow: "low"}
+	for _, lane := range []fastmm.Lane{fastmm.LaneHigh, fastmm.LaneNormal, fastmm.LaneLow} {
+		ls := st.Lanes[lane]
+		if ls.Submitted == 0 {
+			continue
+		}
+		fmt.Printf("  lane %-6s submitted %-5d done %-5d expired %-4d rejected %-4d queue-wait p50 %s p95 %s, service p50 %s p95 %s\n",
+			laneName[lane], ls.Submitted, ls.Done, ls.Expired, ls.Rejected,
+			ls.QueueWait.Quantile(0.5).Round(time.Microsecond), ls.QueueWait.Quantile(0.95).Round(time.Microsecond),
+			ls.Service.Quantile(0.5).Round(time.Microsecond), ls.Service.Quantile(0.95).Round(time.Microsecond))
+	}
+
+	if *httpAddr != "" {
+		fmt.Printf("serving stats on http://%s/debug/fastmm — ctrl-c to exit\n", *httpAddr)
+		select {}
+	}
 }

@@ -54,6 +54,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 
 	"fastmm/internal/addchain"
 	"fastmm/internal/algo"
@@ -267,8 +268,11 @@ type BatchOptions = batch.Options
 // problem uses the full-width parallel schedule. The asynchronous submit
 // path is server-grade: SubmitWith takes priority lanes (High/Normal/Low),
 // per-item deadlines (fail-fast with ErrDeadlineExceeded), and completion
-// callbacks (SubmitFunc) so servers avoid ticket bookkeeping. It is safe for
-// concurrent use; see NewBatcher.
+// callbacks (SubmitFunc) so servers avoid ticket bookkeeping — hardened with
+// deadline-aware admission control (ErrAdmissionDenied sheds guaranteed-dead
+// work at submit), a lane-aging window that bounds Low-lane starvation
+// (BatchOptions.AgingWindow), and an allocation-free metrics surface
+// (Batcher.Stats). It is safe for concurrent use; see NewBatcher.
 type Batcher = batch.Batcher
 
 // BatchTicket tracks one asynchronous Batcher.Submit; Wait blocks until the
@@ -299,6 +303,43 @@ var ErrDeadlineExceeded = batch.ErrDeadlineExceeded
 
 // ErrBatcherClosed is returned by Batcher submissions after Close.
 var ErrBatcherClosed = batch.ErrClosed
+
+// ErrAdmissionDenied is returned by SubmitWith/SubmitFunc when the queued
+// backlog ahead of a deadline'd item already guarantees its deadline will
+// pass before it could start (judged by calibrated per-shape-class service
+// times refined by a live EWMA). A rejected item never enters the queue and
+// produces no Ticket and no callback — the caller sheds the load at submit
+// instead of burning a queue slot on doomed work. Admission is deliberately
+// optimistic: items are rejected only when expiry is certain under the
+// current estimate, so a miscalibrated model degrades to admitting items
+// that later expire with ErrDeadlineExceeded, never to refusing servable
+// work.
+var ErrAdmissionDenied = batch.ErrAdmissionDenied
+
+// BatchStats is a point-in-time snapshot of a Batcher's metrics: per-lane
+// queue depths, conservation counters (submitted/done/expired/rejected) and
+// latency histograms, warm-pool hit rate, backend mix, and the paper's
+// Eq. (3) effective-GFLOPS rate over the batcher's lifetime. Obtain one with
+// Batcher.Stats(); the snapshot allocates, the per-item metric updates it
+// reads never do.
+type BatchStats = batch.Stats
+
+// BatchLaneStats is one lane's slice of a BatchStats snapshot. At quiescence
+// (and permanently after Close) the conservation invariant holds:
+// Submitted == Done + Expired + Rejected + Queued + Executing.
+type BatchLaneStats = batch.LaneStats
+
+// BatchHistogram is a fixed-bucket latency distribution snapshot
+// (power-of-two microsecond buckets); Quantile and Mean summarize it.
+type BatchHistogram = batch.Histogram
+
+// BatchNumLanes is the number of priority lanes (the length of
+// BatchStats.Lanes).
+const BatchNumLanes = batch.NumLanes
+
+// BatchHistogramBounds returns the upper bound of each BatchHistogram
+// bucket; the last bucket is unbounded.
+func BatchHistogramBounds() []time.Duration { return batch.HistogramBounds() }
 
 // BatchStream is a pipelined same-shape stream over a Batcher: Push stages
 // ("packs") the operands into retained double buffers and overlaps the copy
@@ -336,9 +377,10 @@ var (
 // for the process lifetime (its runner goroutines park on an empty queue).
 func sharedBatcher(opts BatchOptions) (*Batcher, error) {
 	norm := opts.Normalized()
-	key := fmt.Sprintf("w%d ws%d e%d g%d np%t q%d | %s",
+	key := fmt.Sprintf("w%d ws%d e%d g%d np%t q%d ag%d | %s",
 		norm.Workers, norm.Workspace, norm.MaxEntries, norm.GrainFLOPs,
-		norm.NoPipeline, norm.QueueDepth, autoOptionsKey(norm.Tuning.Normalized()))
+		norm.NoPipeline, norm.QueueDepth, norm.AgingWindow,
+		autoOptionsKey(norm.Tuning.Normalized()))
 	batchMu.Lock()
 	defer batchMu.Unlock()
 	if b, ok := batchByOpt[key]; ok {

@@ -83,6 +83,16 @@ type Options struct {
 	// shared across all priority lanes (default 4×Workers); a full queue
 	// makes Submit block (backpressure).
 	QueueDepth int
+	// AgingWindow bounds lane starvation: a queued item whose wait exceeds
+	// the window is served ahead of higher-priority lanes (oldest first), so
+	// a sustained High flood delays a Low item by at most the window plus
+	// the executions already in flight. Zero means DefaultAgingWindow;
+	// negative disables aging (strict priority, the pre-aging behavior).
+	AgingWindow time.Duration
+	// Clock is the time source for deadlines, admission, aging, and the
+	// sweeper (default: the wall clock). Tests inject a fake clock to make
+	// every time-dependent behavior deterministic.
+	Clock Clock
 	// Tuning configures the per-entry tuners. Workers is managed per entry
 	// width and Profile is filled from the batcher's one calibration, so
 	// those two fields are overridden; everything else (probe policy,
@@ -93,6 +103,9 @@ type Options struct {
 
 // DefaultMaxEntries bounds the warm pool when Options.MaxEntries is zero.
 const DefaultMaxEntries = 64
+
+// DefaultAgingWindow bounds lane starvation when Options.AgingWindow is zero.
+const DefaultAgingWindow = time.Second
 
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
@@ -106,6 +119,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 4 * o.Workers
+	}
+	switch {
+	case o.AgingWindow == 0:
+		o.AgingWindow = DefaultAgingWindow
+	case o.AgingWindow < 0:
+		o.AgingWindow = -1 // canonical "disabled" (any negative behaves alike)
+	}
+	if o.Clock == nil {
+		o.Clock = wallClock{}
 	}
 	return o
 }
@@ -153,6 +175,13 @@ type task struct {
 	deadline time.Time
 	callback func(error)
 	ticket   Ticket
+	// submitted is the accept timestamp (batcher clock): the origin of the
+	// queue-wait histogram and the aging decision. est is the estimated
+	// service nanoseconds the item contributes to its lane's backlog while
+	// queued; class keys the service-time estimator feedback.
+	submitted time.Time
+	est       int64
+	class     tuner.ShapeClass
 }
 
 // expired reports whether the task's deadline (if any) has passed.
@@ -165,8 +194,11 @@ func (t *task) expired(now time.Time) bool {
 // and SubmitWith enqueue work for the batcher's runner pool. Close waits for
 // outstanding work (asynchronous and synchronous) and stops the runners.
 type Batcher struct {
-	opts Options
-	prof *tuner.Profile
+	opts  Options
+	prof  *tuner.Profile
+	clock Clock
+	met   *metrics
+	est   *svcEstimator
 
 	tunersMu sync.Mutex
 	tuners   map[int]*tuner.Tuner
@@ -216,12 +248,15 @@ type Batcher struct {
 func New(opts Options) (*Batcher, error) {
 	b := &Batcher{
 		opts:      opts.withDefaults(),
+		met:       newMetrics(),
+		est:       newSvcEstimator(),
 		tuners:    map[int]*tuner.Tuner{},
 		entries:   map[entryKey]*warmEntry{},
 		lru:       list.New(),
 		building:  map[entryKey]chan struct{}{},
 		closeDone: make(chan struct{}),
 	}
+	b.clock = b.opts.Clock
 	b.outCond = sync.NewCond(&b.outMu)
 	b.sem.free = b.opts.Workers
 	if _, err := b.tunerFor(b.opts.Workers); err != nil { // calibrate once
@@ -277,7 +312,22 @@ func (b *Batcher) Multiply(C, A, B *mat.Dense) error {
 	if err != nil {
 		return err
 	}
-	return b.run(e, C, A, B)
+	err = b.timedRun(e, C, A, B)
+	b.met.syncDone.Add(1)
+	return err
+}
+
+// timedRun is run with the shared per-execution metrics and service-time
+// feedback folded in: backend mix, effective flops and busy time, and the
+// class's EWMA estimate (the admission currency). Every execution path —
+// sync, async, stream — funnels through it.
+func (b *Batcher) timedRun(e *warmEntry, C, A, B *mat.Dense) error {
+	start := b.clock.Now()
+	err := b.run(e, C, A, B)
+	d := b.clock.Now().Sub(start)
+	b.met.recordExec(e.te.Plan().Backend, A.Rows(), A.Cols(), B.Cols(), d)
+	b.est.observe(e.key.class, d.Seconds())
+	return err
 }
 
 // beginSync registers a synchronous multiplication in the outstanding
@@ -311,6 +361,13 @@ func (b *Batcher) Submit(C, A, B *mat.Dense) (*Ticket, error) {
 // not aggregate expiries), and an optional completion callback. Dimension
 // and lane errors surface immediately and the item is never queued; a full
 // queue makes SubmitWith block (backpressure, lanes share one QueueDepth).
+//
+// A future deadline is additionally screened by admission control: when the
+// queued backlog ahead of the item (at calibrated per-class service-time
+// estimates) already guarantees the deadline expires before a runner could
+// reach it, SubmitWith rejects immediately with ErrAdmissionDenied — no
+// Ticket, no queue slot, no callback — so saturated servers shed dead work
+// at the door instead of carrying it to expiry.
 func (b *Batcher) SubmitWith(C, A, B *mat.Dense, opts SubmitOpts) (*Ticket, error) {
 	if err := checkDims(C, A, B); err != nil {
 		return nil, err
@@ -320,26 +377,45 @@ func (b *Batcher) SubmitWith(C, A, B *mat.Dense, opts SubmitOpts) (*Ticket, erro
 	}
 	tk := &task{C: C, A: A, B: B, lane: opts.Lane, deadline: opts.Deadline,
 		callback: opts.Callback, ticket: Ticket{done: make(chan struct{})}}
+	tk.class, tk.est = b.estimateFor(A.Rows(), A.Cols(), B.Cols())
+	lc := &b.met.lanes[opts.Lane]
 	b.submitMu.Lock()
 	if b.closed {
 		b.submitMu.Unlock()
 		return nil, ErrClosed
 	}
 	b.startRunners()
-	b.addOutstanding()
-	b.submitMu.Unlock()
-	if tk.expired(time.Now()) {
+	now := b.clock.Now()
+	tk.submitted = now
+	if tk.expired(now) {
 		// Already past its deadline: resolve without ever touching the
 		// queue or a runner. The resolution happens on its own goroutine so
 		// the Callback contract holds — it never runs on the submitter,
 		// whose locks or submit loop a server callback may depend on.
+		lc.submitted.Add(1)
+		b.addOutstanding()
+		b.submitMu.Unlock()
 		go b.finish(tk, ErrDeadlineExceeded)
 		return &tk.ticket, nil
 	}
+	if !opts.Deadline.IsZero() {
+		if err := b.admit(opts.Lane, opts.Deadline, now); err != nil {
+			lc.submitted.Add(1)
+			lc.rejected.Add(1)
+			b.submitMu.Unlock()
+			return nil, err
+		}
+	}
+	lc.submitted.Add(1)
+	b.addOutstanding()
+	b.submitMu.Unlock()
 	if err := b.queue.push(tk); err != nil {
 		// Unreachable in practice: the queue only closes after Close
 		// drained the outstanding count this item is registered in. Keep
-		// the accounting straight regardless.
+		// the accounting (conservation counters included) straight
+		// regardless.
+		lc.queueWait.observe(0)
+		lc.service.observe(0)
 		b.finish(tk, err)
 		return nil, err
 	}
@@ -482,7 +558,11 @@ func (b *Batcher) PlanFor(m, k, n int) (tuner.Plan, error) {
 // only synchronously never spawns a goroutine). Callers hold submitMu.
 func (b *Batcher) startRunners() {
 	b.queueOnce.Do(func() {
-		b.queue = newLaneQueue(b.opts.QueueDepth)
+		aging := b.opts.AgingWindow
+		if aging < 0 {
+			aging = 0 // disabled
+		}
+		b.queue = newLaneQueue(b.opts.QueueDepth, b.clock, aging)
 		for i := 0; i < b.opts.Workers; i++ {
 			go b.runner(b.queue)
 		}
@@ -500,7 +580,7 @@ func (b *Batcher) startRunners() {
 // deadline, and exits when the queue closes.
 func (b *Batcher) sweeper(queue *laneQueue) {
 	for {
-		expired, next, open := queue.sweepExpired(time.Now())
+		expired, next, open := queue.sweepExpired(b.clock.Now())
 		for _, tk := range expired {
 			// Each expiry resolves on its own goroutine: a blocking
 			// completion callback must stall neither the sweep loop (the
@@ -514,14 +594,14 @@ func (b *Batcher) sweeper(queue *laneQueue) {
 		}
 		wait := time.Hour // nothing deadline'd is queued: park until a push
 		if !next.IsZero() {
-			if wait = time.Until(next); wait < 0 {
+			if wait = next.Sub(b.clock.Now()); wait < 0 {
 				wait = 0
 			}
 		}
-		timer := time.NewTimer(wait)
+		timer := b.clock.NewTimer(wait)
 		select {
 		case <-queue.deadlineSig:
-		case <-timer.C:
+		case <-timer.C():
 		case <-queue.done:
 		}
 		timer.Stop()
@@ -544,19 +624,25 @@ func (b *Batcher) runner(queue *laneQueue) {
 // wants anymore. The executing count (the width policy's denominator) is
 // held only around actual execution.
 func (b *Batcher) execute(tk *task) {
-	if tk.expired(time.Now()) {
+	start := b.clock.Now()
+	if tk.expired(start) {
 		// Like every expiry path, resolve on a dedicated goroutine: the
 		// Callback contract says deadline expiries never run on a runner,
 		// so a blocking callback cannot stall the pool.
 		go b.finish(tk, ErrDeadlineExceeded)
 		return
 	}
+	lc := &b.met.lanes[tk.lane]
+	lc.queueWait.observe(start.Sub(tk.submitted))
+	lc.executing.Add(1)
 	load := int(b.executing.Add(1))
 	e, err := b.entryFor(tk.A.Rows(), tk.A.Cols(), tk.B.Cols(), load)
 	if err == nil {
-		err = b.run(e, tk.C, tk.A, tk.B)
+		err = b.timedRun(e, tk.C, tk.A, tk.B)
 	}
 	b.executing.Add(-1)
+	lc.service.observe(b.clock.Now().Sub(start))
+	lc.executing.Add(-1)
 	b.finish(tk, err)
 }
 
@@ -566,6 +652,15 @@ func (b *Batcher) execute(tk *task) {
 // error — expiry is an expected per-item outcome for deadline'd traffic,
 // not a batch failure.
 func (b *Batcher) finish(tk *task, err error) {
+	lc := &b.met.lanes[tk.lane]
+	if errors.Is(err, ErrDeadlineExceeded) {
+		lc.expired.Add(1)
+	} else {
+		lc.done.Add(1)
+		if err != nil {
+			lc.failed.Add(1)
+		}
+	}
 	tk.ticket.err = err
 	close(tk.ticket.done)
 	if tk.callback != nil {
@@ -659,6 +754,7 @@ func (b *Batcher) entryFor(m, k, n, load int) (*warmEntry, error) {
 		if e, ok := b.entries[key]; ok {
 			b.lru.MoveToFront(e.elem)
 			b.mu.Unlock()
+			b.met.warmHits.Add(1)
 			return e, nil
 		}
 		ch, building := b.building[key]
@@ -666,6 +762,7 @@ func (b *Batcher) entryFor(m, k, n, load int) (*warmEntry, error) {
 			ch = make(chan struct{})
 			b.building[key] = ch
 			b.mu.Unlock()
+			b.met.warmMisses.Add(1)
 			return b.buildEntry(key, ch)
 		}
 		b.mu.Unlock()
@@ -723,6 +820,15 @@ func (b *Batcher) buildEntry(key entryKey, ch chan struct{}) (*warmEntry, error)
 	b.entries[key] = e
 	b.evictLocked()
 	b.mu.Unlock()
+	// Seed the admission estimator from the tuned plan — the measured probe
+	// time when the tuner ran one, else the cost model's prediction. Live
+	// EWMA observations take over from the first real execution.
+	plan := te.Plan()
+	if secs := plan.MeasuredSeconds; secs > 0 {
+		b.est.seed(key.class, secs)
+	} else if plan.PredictedSeconds > 0 {
+		b.est.seed(key.class, plan.PredictedSeconds)
+	}
 	return e, nil
 }
 

@@ -3,6 +3,7 @@ package batch
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -43,6 +44,10 @@ func testProfile(workers int) *tuner.Profile {
 func testOptions(workers int) Options {
 	return Options{
 		Workers: workers,
+		// Disable lane aging by default: the scheduling-order tests pin down
+		// strict priority, and a wall-clock hiccup past the default window
+		// must not promote a lane head mid-test. Aging has dedicated tests.
+		AgingWindow: -1,
 		Tuning: tuner.Options{
 			Profile:     testProfile(workers),
 			ProbeTopK:   tuner.NoProbes,
@@ -55,6 +60,24 @@ func randMat(r, c int, seed int64) *mat.Dense {
 	m := mat.New(r, c)
 	m.FillRandom(rand.New(rand.NewSource(seed)))
 	return m
+}
+
+// waitSemWaiters spins (yielding, never sleeping) until the semaphore has at
+// least n queued waiters.
+func waitSemWaiters(t *testing.T, s *wsem, n int) {
+	t.Helper()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		s.mu.Lock()
+		got := s.waiters.Len()
+		s.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued semaphore waiters", n)
+		}
+		runtime.Gosched()
+	}
 }
 
 func checkProduct(t *testing.T, C, A, B *mat.Dense) {
@@ -343,8 +366,9 @@ func TestSemaphoreFIFO(t *testing.T) {
 	s.acquire(4)
 	done := make(chan int, 2)
 	go func() { s.acquire(3); done <- 3 }()
-	time.Sleep(10 * time.Millisecond) // let the wide waiter enqueue first
+	waitSemWaiters(t, &s, 1) // the wide waiter enqueues first
 	go func() { s.acquire(1); done <- 1 }()
+	waitSemWaiters(t, &s, 2)
 	s.release(2) // 2 free: neither the queued 3 nor the 1 behind it may pass
 	select {
 	case v := <-done:

@@ -1,0 +1,43 @@
+package batch
+
+import "time"
+
+// Clock is the time source behind every deadline, aging, admission, and
+// sweeper decision a Batcher makes. Production batchers run on the wall
+// clock (Options.Clock nil); tests inject a fake so that "a deadline passes
+// while the item is queued" is a deterministic state transition instead of a
+// sleep — the whole QoS layer (expiry sweeping, lane aging, admission
+// estimates) is testable without wall-clock flakiness.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// NewTimer returns a timer that delivers on C after d.
+	NewTimer(d time.Duration) Timer
+	// AfterFunc runs f on its own goroutine after d; Stop cancels a run
+	// that has not started.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is the Clock counterpart of *time.Timer, reduced to what the batcher
+// uses: the delivery channel and cancellation.
+type Timer interface {
+	// C is the delivery channel (nil for AfterFunc timers).
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the stop prevented a
+	// delivery that had not yet fired.
+	Stop() bool
+}
+
+// wallClock is the production Clock: plain package time.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                 { return time.Now() }
+func (wallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+func (wallClock) AfterFunc(d time.Duration, f func()) Timer {
+	return wallTimer{time.AfterFunc(d, f)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop() bool          { return w.t.Stop() }

@@ -3,6 +3,7 @@ package batch
 import (
 	"errors"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -173,7 +174,7 @@ func TestStreamPushCloseRace(t *testing.T) {
 			}
 		}()
 		for pushed.Load() < 2 { // let the pipeline actually start
-			time.Sleep(50 * time.Microsecond)
+			runtime.Gosched()
 		}
 		if err := b.Close(); err != nil {
 			t.Fatal(err)
@@ -214,7 +215,7 @@ func TestSemaphoreWideNotStarvedByNarrowStream(t *testing.T) {
 			if time.Now().After(deadline) {
 				t.Fatalf("timed out waiting for %d queued waiters", want)
 			}
-			time.Sleep(100 * time.Microsecond)
+			runtime.Gosched()
 		}
 	}
 	waitWaiters(1) // the wide acquisition is at the queue front

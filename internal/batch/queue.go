@@ -86,14 +86,26 @@ type SubmitOpts struct {
 // empty queue). Rings rather than sliced-forward slices keep the steady
 // state allocation-free — the allocs-per-item trend gate in CI counts every
 // byte of the async path.
+//
+// Strict priority is softened by aging: when a lane's head item has waited
+// longer than the aging window, pop serves it ahead of higher-priority
+// lanes (oldest over-window head first), so a sustained High flood can delay
+// a Low item by at most the window plus the executions already in flight —
+// a bounded starvation window instead of an unbounded one.
 type laneQueue struct {
 	mu       sync.Mutex
 	notEmpty sync.Cond
 	notFull  sync.Cond
 	lanes    [numLanes]taskRing
+	// estSum tracks the summed estimated service nanoseconds of each lane's
+	// queued items — the backlog currency of admission control, maintained
+	// on push/pop/sweep so backlogAhead is O(lanes), not O(items).
+	estSum   [numLanes]int64
 	size     int
 	capacity int
 	closed   bool
+	clock    Clock
+	aging    time.Duration // 0 disables aged-head promotion
 	// deadlineSig nudges the sweeper when a deadline'd item is pushed;
 	// done wakes it (and any other select-based observer) on close.
 	deadlineSig chan struct{}
@@ -118,6 +130,15 @@ func (r *taskRing) push(t *task) {
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = t
 	r.n++
+}
+
+// peek returns the ring's head (its oldest task) without removing it, nil
+// when empty.
+func (r *taskRing) peek() *task {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
 }
 
 func (r *taskRing) pop() *task {
@@ -153,9 +174,11 @@ func (r *taskRing) sweepExpired(now time.Time, expired []*task) ([]*task, time.T
 	return expired, next
 }
 
-func newLaneQueue(capacity int) *laneQueue {
+func newLaneQueue(capacity int, clock Clock, aging time.Duration) *laneQueue {
 	q := &laneQueue{
 		capacity:    capacity,
+		clock:       clock,
+		aging:       aging,
 		deadlineSig: make(chan struct{}, 1),
 		done:        make(chan struct{}),
 	}
@@ -176,6 +199,7 @@ func (q *laneQueue) push(t *task) error {
 		return ErrClosed
 	}
 	q.lanes[t.lane].push(t)
+	q.estSum[t.lane] += t.est
 	q.size++
 	q.mu.Unlock()
 	q.notEmpty.Signal()
@@ -188,9 +212,12 @@ func (q *laneQueue) push(t *task) error {
 	return nil
 }
 
-// pop dequeues the oldest item of the highest-priority non-empty lane,
-// blocking while the queue is empty. ok=false means closed and fully
-// drained — the runner's signal to exit.
+// pop dequeues the next item, blocking while the queue is empty: normally
+// the oldest item of the highest-priority non-empty lane, but any lane head
+// that has aged past the window is served first (oldest such head wins), so
+// lower lanes starve for at most the window under sustained high-priority
+// traffic. ok=false means closed and fully drained — the runner's signal to
+// exit.
 func (q *laneQueue) pop() (t *task, ok bool) {
 	q.mu.Lock()
 	for q.size == 0 && !q.closed {
@@ -200,16 +227,62 @@ func (q *laneQueue) pop() (t *task, ok bool) {
 		q.mu.Unlock()
 		return nil, false
 	}
-	for _, l := range laneOrder {
-		if q.lanes[l].n > 0 {
-			t = q.lanes[l].pop()
-			break
+	lane := Lane(-1)
+	if q.aging > 0 {
+		now := q.clock.Now()
+		var oldest time.Time
+		for _, l := range laneOrder {
+			h := q.lanes[l].peek()
+			if h == nil || h.submitted.IsZero() || now.Sub(h.submitted) < q.aging {
+				continue
+			}
+			if oldest.IsZero() || h.submitted.Before(oldest) {
+				oldest, lane = h.submitted, l
+			}
 		}
 	}
+	if lane < 0 {
+		for _, l := range laneOrder {
+			if q.lanes[l].n > 0 {
+				lane = l
+				break
+			}
+		}
+	}
+	t = q.lanes[lane].pop()
+	q.estSum[lane] -= t.est
 	q.size--
 	q.mu.Unlock()
 	q.notFull.Signal()
 	return t, true
+}
+
+// backlogAhead returns the summed estimated service nanoseconds of every
+// queued item a new submission on the given lane would wait behind: its own
+// lane plus all higher-priority lanes. Aging promotions can only add lower-
+// lane items ahead of it, so this is a lower bound — exactly what admission
+// control needs (reject only on guaranteed misses).
+func (q *laneQueue) backlogAhead(lane Lane) int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var sum int64
+	for _, l := range laneOrder {
+		sum += q.estSum[l]
+		if l == lane {
+			break
+		}
+	}
+	return sum
+}
+
+// laneDepths reports the per-lane queued item counts.
+func (q *laneQueue) laneDepths() (d [numLanes]int) {
+	q.mu.Lock()
+	for l := range q.lanes {
+		d[l] = q.lanes[l].n
+	}
+	q.mu.Unlock()
+	return d
 }
 
 // close marks the queue closed and wakes every parked pusher (they fail with
@@ -238,8 +311,12 @@ func (q *laneQueue) sweepExpired(now time.Time) (expired []*task, next time.Time
 		return nil, time.Time{}, false
 	}
 	for l := range q.lanes {
+		before := len(expired)
 		var laneNext time.Time
 		expired, laneNext = q.lanes[l].sweepExpired(now, expired)
+		for _, t := range expired[before:] {
+			q.estSum[l] -= t.est
+		}
 		if !laneNext.IsZero() && (next.IsZero() || laneNext.Before(next)) {
 			next = laneNext
 		}

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -10,10 +11,17 @@ func laneTask(l Lane) *task {
 	return &task{lane: l, ticket: Ticket{done: make(chan struct{})}}
 }
 
+// testQueue builds a queue on a fake clock with aging disabled — the strict-
+// priority behavior the scheduling-order tests pin down. Aging has its own
+// tests (aging_test.go).
+func testQueue(capacity int) *laneQueue {
+	return newLaneQueue(capacity, newFakeClock(), 0)
+}
+
 // TestLaneQueuePriorityOrder: pop must drain High before Normal before Low,
 // FIFO within each lane, regardless of arrival order.
 func TestLaneQueuePriorityOrder(t *testing.T) {
-	q := newLaneQueue(16)
+	q := testQueue(16)
 	low0, low1 := laneTask(LaneLow), laneTask(LaneLow)
 	norm0, norm1 := laneTask(LaneNormal), laneTask(LaneNormal)
 	high0, high1 := laneTask(LaneHigh), laneTask(LaneHigh)
@@ -40,7 +48,7 @@ func TestLaneQueuePriorityOrder(t *testing.T) {
 // TestLaneQueueBackpressure: push blocks at capacity (across lanes, one
 // shared budget) and resumes when a pop frees a slot.
 func TestLaneQueueBackpressure(t *testing.T) {
-	q := newLaneQueue(2)
+	q := testQueue(2)
 	if err := q.push(laneTask(LaneLow)); err != nil {
 		t.Fatal(err)
 	}
@@ -70,13 +78,17 @@ func TestLaneQueueBackpressure(t *testing.T) {
 // TestLaneQueueClose: close fails parked pushers with ErrClosed, lets
 // poppers drain the backlog, then reports done.
 func TestLaneQueueClose(t *testing.T) {
-	q := newLaneQueue(1)
+	q := testQueue(1)
 	if err := q.push(laneTask(LaneNormal)); err != nil {
 		t.Fatal(err)
 	}
 	pushed := make(chan error, 1)
 	go func() { pushed <- q.push(laneTask(LaneNormal)) }()
-	time.Sleep(10 * time.Millisecond) // park the pusher on the full queue
+	// Yield so the pusher reaches its parked state; if it has not yet, it
+	// observes closed on entry instead — either way the assertion holds.
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
 	q.close()
 	select {
 	case err := <-pushed:
@@ -99,7 +111,7 @@ func TestLaneQueueClose(t *testing.T) {
 
 // TestLaneQueuePopBlocksUntilPush: a parked popper wakes on the next push.
 func TestLaneQueuePopBlocksUntilPush(t *testing.T) {
-	q := newLaneQueue(4)
+	q := testQueue(4)
 	got := make(chan *task, 1)
 	go func() {
 		tk, ok := q.pop()

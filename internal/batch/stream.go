@@ -94,8 +94,9 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 	s.e = e
 	if !s.pipe {
 		s.b.executing.Add(1)
-		err := s.b.run(s.e, C, A, B)
+		err := s.b.timedRun(s.e, C, A, B)
 		s.b.executing.Add(-1)
+		s.b.met.streamDone.Add(1)
 		s.b.doneOutstanding(nil) // the error is returned to this caller alone
 		return err
 	}
@@ -147,8 +148,9 @@ func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) *Ticket {
 	t := &Ticket{done: make(chan struct{})}
 	go func() {
 		b.executing.Add(1)
-		t.err = b.run(e, C, A, B)
+		t.err = b.timedRun(e, C, A, B)
 		b.executing.Add(-1)
+		b.met.streamDone.Add(1)
 		close(t.done)
 		b.doneOutstanding(nil)
 	}()

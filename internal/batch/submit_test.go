@@ -5,6 +5,7 @@ package batch
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,6 +14,26 @@ import (
 	"fastmm/internal/mat"
 	"fastmm/internal/tuner"
 )
+
+// advanceUntil steps the fake clock forward until done closes — the
+// deterministic replacement for "sleep and hope the sweeper ran": each step
+// both moves time and yields, so the sweeper's next fake timer (armed from
+// whatever instant it read) is always eventually overtaken.
+func advanceUntil(t *testing.T, fc *fakeClock, step time.Duration, done <-chan struct{}) {
+	t.Helper()
+	fail := time.After(10 * time.Second)
+	for {
+		select {
+		case <-done:
+			return
+		case <-fail:
+			t.Fatal("condition not reached under fake-clock advance")
+		default:
+			fc.Advance(step)
+			runtime.Gosched()
+		}
+	}
+}
 
 // newTestBatcher builds a batcher whose Close runs in t.Cleanup — after any
 // cleanup registered later (LIFO), so a blockRunners release always happens
@@ -177,7 +198,10 @@ func TestLanePrioritySchedulingOrder(t *testing.T) {
 // Ticket and its Callback — without ever running the multiplication, and
 // Wait must not aggregate the expiry as a batch error.
 func TestDeadlineExpiresWithoutExecuting(t *testing.T) {
-	b := newTestBatcher(t, testOptions(1))
+	fc := newFakeClock()
+	opts := testOptions(1)
+	opts.Clock = fc
+	b := newTestBatcher(t, opts)
 
 	release := blockRunners(t, b, 1)
 
@@ -189,13 +213,13 @@ func TestDeadlineExpiresWithoutExecuting(t *testing.T) {
 	cbDone := make(chan struct{})
 	tk, err := b.SubmitWith(C, A, B, SubmitOpts{
 		Lane:     LaneLow,
-		Deadline: time.Now().Add(5 * time.Millisecond),
+		Deadline: fc.Now().Add(5 * time.Millisecond),
 		Callback: func(err error) { cbErr = err; close(cbDone) },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond) // the deadline passes while queued
+	fc.Advance(20 * time.Millisecond) // the deadline passes while queued
 	release()
 
 	if err := tk.Wait(); !errors.Is(err, ErrDeadlineExceeded) {
@@ -225,7 +249,10 @@ func TestDeadlineExpiresWithoutExecuting(t *testing.T) {
 // sweeper), not hang its Ticket and Callback until a runner happens to
 // reach it.
 func TestDeadlineExpiresWhileStarved(t *testing.T) {
-	b := newTestBatcher(t, testOptions(1))
+	fc := newFakeClock()
+	opts := testOptions(1)
+	opts.Clock = fc
+	b := newTestBatcher(t, opts)
 	blockRunners(t, b, 1) // the only runner stays parked for the whole test
 
 	const n = 64
@@ -234,17 +261,13 @@ func TestDeadlineExpiresWhileStarved(t *testing.T) {
 	cbDone := make(chan struct{})
 	tk, err := b.SubmitWith(mat.New(n, n), A, B, SubmitOpts{
 		Lane:     LaneLow,
-		Deadline: time.Now().Add(10 * time.Millisecond),
+		Deadline: fc.Now().Add(10 * time.Millisecond),
 		Callback: func(err error) { cbErr = err; close(cbDone) },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case <-tk.done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("starved deadline'd item never expired (no runner ever dequeued it)")
-	}
+	advanceUntil(t, fc, 5*time.Millisecond, tk.done)
 	if err := tk.Wait(); !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("starved item: ticket err %v, want ErrDeadlineExceeded", err)
 	}
@@ -261,12 +284,15 @@ func TestDeadlineExpiresWhileStarved(t *testing.T) {
 // item synchronously — no queue slot, no runner, even when every runner is
 // busy.
 func TestDeadlineAlreadyExpiredAtSubmit(t *testing.T) {
-	b := newTestBatcher(t, testOptions(1))
+	fc := newFakeClock()
+	opts := testOptions(1)
+	opts.Clock = fc
+	b := newTestBatcher(t, opts)
 	blockRunners(t, b, 1)
 
 	const n = 64
 	A, B := randMat(n, n, 1), randMat(n, n, 2)
-	tk, err := b.SubmitWith(mat.New(n, n), A, B, SubmitOpts{Deadline: time.Now().Add(-time.Second)})
+	tk, err := b.SubmitWith(mat.New(n, n), A, B, SubmitOpts{Deadline: fc.Now().Add(-time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,14 +343,26 @@ func TestSubmitFuncCallback(t *testing.T) {
 	// complete before their item is released to Wait/Close, so servers can
 	// tear down per-request state after Wait.
 	var slowDone atomic.Bool
+	gate := make(chan struct{})
+	entered := make(chan struct{})
 	err = b.SubmitFunc(mat.New(n, n), A, B, SubmitOpts{}, func(error) {
-		time.Sleep(30 * time.Millisecond)
+		close(entered)
+		<-gate
 		slowDone.Store(true)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Wait(); err != nil {
+	<-entered
+	waitRet := make(chan error, 1)
+	go func() { waitRet <- b.Wait() }()
+	select {
+	case <-waitRet:
+		t.Fatal("Wait returned while a callback was still running")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-waitRet; err != nil {
 		t.Fatal(err)
 	}
 	if !slowDone.Load() {
@@ -401,7 +439,7 @@ func TestMultiplyCloseRace(t *testing.T) {
 			}()
 		}
 		for started.Load() < 2 { // let the racers actually multiply
-			time.Sleep(50 * time.Microsecond)
+			runtime.Gosched()
 		}
 		if err := b.Close(); err != nil {
 			t.Fatal(err)
@@ -465,7 +503,7 @@ func TestNoPipelinePushCloseRace(t *testing.T) {
 			}()
 		}
 		for started.Load() < 2 {
-			time.Sleep(50 * time.Microsecond)
+			runtime.Gosched()
 		}
 		if err := b.Close(); err != nil {
 			t.Fatal(err)

@@ -272,7 +272,7 @@ func runLaneScenario(cfg Config, bt *batch.Batcher) ([]Point, error) {
 	if expiry < 10*time.Microsecond {
 		expiry = 10 * time.Microsecond
 	}
-	var expired atomic.Int64
+	var expired, rejected atomic.Int64
 	var cbWg sync.WaitGroup
 	for i := 0; i < expireItems; i++ {
 		cbWg.Add(1)
@@ -287,6 +287,14 @@ func runLaneScenario(cfg Config, bt *batch.Batcher) ([]Point, error) {
 			}
 			cbWg.Done()
 		})
+		if errors.Is(err, batch.ErrAdmissionDenied) {
+			// Admission shed the item at submit: no callback will ever fire.
+			// That is the intended outcome for doomed deadline'd work behind
+			// the flood's backlog — count it alongside queue-side expiries.
+			rejected.Add(1)
+			cbWg.Done()
+			continue
+		}
 		if err != nil {
 			close(stop)
 			return nil, err
@@ -327,13 +335,19 @@ func runLaneScenario(cfg Config, bt *batch.Batcher) ([]Point, error) {
 	}
 	pts = append(pts, Point{Series: "lane-low-expired", X: expireItems,
 		P: laneN, Q: laneN, R: laneN, Workers: w, Seconds: float64(expired.Load())})
+	pts = append(pts, Point{Series: "lane-low-rejected", X: expireItems,
+		P: laneN, Q: laneN, R: laneN, Workers: w, Seconds: float64(rejected.Load())})
 
 	fmt.Fprintf(out, "  lanes (%d^3): high-lane latency %.1fms alone -> %.1fms under low-lane flood (%.2fx, gated in benchtrend)\n",
 		laneN, aloneSecs*1e3, loadedSecs*1e3, loadedSecs/aloneSecs)
-	fmt.Fprintf(out, "  deadlines: %d/%d deadline'd low-lane items expired without occupying a runner\n",
-		expired.Load(), expireItems)
+	fmt.Fprintf(out, "  deadlines: %d/%d deadline'd low-lane items shed (%d admission-rejected at submit, %d expired in queue) without occupying a runner\n",
+		expired.Load()+rejected.Load(), expireItems, rejected.Load(), expired.Load())
 	fmt.Fprintf(out, "  width policy: %d-item burst drained at %.1f items/s (width from executing multiplies, not queue depth)\n",
 		burstItems, float64(burstItems)/burstSecs)
+
+	st := bt.Stats()
+	fmt.Fprintf(out, "  stats: warm hit rate %.0f%%, %.1f effective GFLOPS over %.2fs busy, backends %v\n",
+		100*st.WarmHitRate(), st.EffectiveGFLOPS, st.BusySeconds, st.Backends)
 	return pts, nil
 }
 
