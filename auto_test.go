@@ -41,7 +41,7 @@ func autoTestProfile(workers int) *tuner.Profile {
 
 func autoTestOpts(workers int) fastmm.AutoOptions {
 	return fastmm.AutoOptions{
-		Workers:     workers,
+		Resources:   fastmm.Resources{Workers: workers},
 		Profile:     autoTestProfile(workers),
 		ProbeTopK:   fastmm.AutoNoProbes,
 		NoDiskCache: true,

@@ -18,8 +18,8 @@ import (
 
 func batchTestOpts(workers int) fastmm.BatchOptions {
 	return fastmm.BatchOptions{
-		Workers: workers,
-		Tuning:  autoTestOpts(workers),
+		Resources: fastmm.Resources{Workers: workers},
+		Tuning:    autoTestOpts(workers),
 	}
 }
 

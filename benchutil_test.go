@@ -29,7 +29,7 @@ func randSquare(n int) (*mat.Dense, *mat.Dense) {
 
 func mustExecutor(b *testing.B, alg string, steps, workers int, par parallelMode) *core.Executor {
 	b.Helper()
-	e, err := fastmm.NewExecutor(alg, fastmm.Options{Steps: steps, Workers: workers, Parallel: par})
+	e, err := fastmm.NewExecutor(alg, fastmm.Options{Resources: fastmm.Resources{Workers: workers}, Steps: steps, Parallel: par})
 	if err != nil {
 		b.Fatal(err)
 	}

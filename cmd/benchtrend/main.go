@@ -271,6 +271,32 @@ func extract(r report) map[string]metric {
 					out[fmt.Sprintf("simd speedup N=%d", n)] = metric{value: p / s, gate: false}
 				}
 			}
+		case "structured":
+			// Points come in (ata, multiply) pairs per shape; the gating
+			// metric is the within-run time ratio ata/multiply — like
+			// auto-vs-best it cancels runner speed, and it regresses when
+			// the symmetric recursion stops beating the general multiply.
+			type shape struct{ p, q, r int }
+			ataSecs, mulSecs := map[shape]float64{}, map[shape]float64{}
+			for _, pt := range run.Points {
+				s := shape{pt.P, pt.Q, pt.R}
+				switch pt.Series {
+				case "ata":
+					ataSecs[s] = pt.Seconds
+				case "multiply":
+					mulSecs[s] = pt.Seconds
+				}
+			}
+			// 0.35 absolute slack: at the smoke sizes both sides tune to
+			// near-classical plans and the ratio wanders ±0.3 with runner
+			// noise, while a real plan-selection regression (a fast walk
+			// displaced by a mispick) moves it by 0.5 or more.
+			for s, a := range ataSecs {
+				if m := mulSecs[s]; a > 0 && m > 0 {
+					out[fmt.Sprintf("ata-vs-multiply %dx%dx%d", s.p, s.q, s.r)] =
+						metric{value: a / m, absSlack: 0.35, gate: true}
+				}
+			}
 		case "batch":
 			// One cell per (shape, batch size); series distinguish styles.
 			type cell struct{ p, q, r, x int }

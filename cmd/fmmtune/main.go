@@ -124,7 +124,7 @@ func cmdWarm(args []string) error {
 	if len(shapes) == 0 {
 		return fmt.Errorf("warm: at least one -shape MxKxN required")
 	}
-	t, err := tuner.New(tuner.Options{Workers: *workers, ProbeTopK: *probes})
+	t, err := tuner.New(tuner.Options{Resources: tuner.Resources{Workers: *workers}, ProbeTopK: *probes})
 	if err != nil {
 		return err
 	}
@@ -197,7 +197,7 @@ func cmdShow(args []string) error {
 	if prof != nil && prof.Machine.Workers < w {
 		prof = nil
 	}
-	t, err := tuner.New(tuner.Options{Workers: *workers, Profile: prof, NoDiskCache: true})
+	t, err := tuner.New(tuner.Options{Resources: tuner.Resources{Workers: *workers}, Profile: prof, NoDiskCache: true})
 	if err != nil {
 		return err
 	}

@@ -47,7 +47,8 @@ func main() {
 			best := -1.0
 			for _, steps := range []int{1, 2} {
 				exec, err := fastmm.NewExecutor("strassen", fastmm.Options{
-					Steps: steps, Parallel: mode, Workers: workers,
+					Steps: steps, Parallel: mode,
+					Resources: fastmm.Resources{Workers: workers},
 				})
 				if err != nil {
 					log.Fatal(err)

@@ -55,8 +55,10 @@ func main() {
 	workers := runtime.GOMAXPROCS(0)
 
 	batcher, err := fastmm.NewBatcher(fastmm.BatchOptions{
-		Workers:   workers,
-		Workspace: 512 << 20, // retain at most 512 MiB of warm workspace
+		Resources: fastmm.Resources{
+			Workers:   workers,
+			Workspace: 512 << 20, // retain at most 512 MiB of warm workspace
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -110,7 +112,7 @@ func main() {
 	// shape dispatcher and runs alone at full width.
 	start = time.Now()
 	for _, r := range reqs {
-		if err := fastmm.Auto(r.C, r.A, r.B, fastmm.AutoOptions{Workers: workers}); err != nil {
+		if err := fastmm.Auto(r.C, r.A, r.B, fastmm.AutoOptions{Resources: fastmm.Resources{Workers: workers}}); err != nil {
 			log.Fatal(err)
 		}
 	}

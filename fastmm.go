@@ -63,6 +63,8 @@ import (
 	"fastmm/internal/core"
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
+	"fastmm/internal/resources"
 	"fastmm/internal/tuner"
 )
 
@@ -95,6 +97,33 @@ type BaseCase = algo.BaseCase
 // Options configures the executor; the zero value gives sequential
 // execution, write-once additions, and automatic recursion cutoff.
 type Options = core.Options
+
+// Resources is the resource budget — Workers, Workspace, Backends — shared
+// by every options type in the stack: it is embedded in Options,
+// AutoOptions, and BatchOptions, so the three layers spell (and cache-key)
+// a budget identically.
+type Resources = resources.Resources
+
+// Op identifies a structured operation the framework can plan end to end:
+// the general multiply, the symmetric Gram (AᵗA) and SYRK (A·Aᵗ) products —
+// which the planner serves with a symmetric recursion at ~2/3 of a general
+// multiply's work, with an exactly symmetric result — and the accumulate
+// fusion C += A·B.
+type Op = op.Op
+
+// Operations.
+const (
+	OpMultiply    = op.Multiply
+	OpATA         = op.ATA
+	OpSyrk        = op.Syrk
+	OpMultiplyAdd = op.MultiplyAdd
+)
+
+// Request is one operation-typed work item, C = Alpha·op(A,B) + Beta·C:
+// the unit accepted by Do and by Batcher.SubmitRequest. Zero Alpha means 1,
+// zero Beta means overwrite; B must be nil for OpATA/OpSyrk. C must not
+// alias A or B.
+type Request = op.Request
 
 // Executor runs a fixed algorithm schedule; it is safe for concurrent use.
 type Executor = core.Executor
@@ -205,6 +234,35 @@ func Auto(C, A, B *Matrix, opts AutoOptions) error {
 	return t.Multiply(C, A, B)
 }
 
+// Do executes one operation-typed request — C = Alpha·op(A,B) + Beta·C —
+// with the tuned plan for the request's (op, shape), through the same
+// process-shared dispatchers as Auto. Auto, MultiplyATA, and Syrk are thin
+// wrappers over this.
+func Do(req Request, opts AutoOptions) error {
+	t, err := sharedAuto(opts)
+	if err != nil {
+		return err
+	}
+	return t.Do(req)
+}
+
+// MultiplyATA computes C = Aᵗ·A (C must be n×n for A m×n, and must not alias
+// A) with the tuned plan for the shape: a symmetric recursion that serves
+// the diagonal blocks recursively, computes each lower off-diagonal block
+// once with the tuned fast multiply, and mirrors it — ~2/3 of the work of
+// Multiply(C, Aᵗ, A), with an exactly symmetric result
+// (C.At(i,j) == C.At(j,i) bit-for-bit).
+func MultiplyATA(C, A *Matrix, opts AutoOptions) error {
+	return Do(Request{Op: OpATA, C: C, A: A}, opts)
+}
+
+// Syrk computes the symmetric rank-k update C = A·Aᵗ (C must be m×m for A
+// m×n, and must not alias A), with the same planning and exact-symmetry
+// guarantees as MultiplyATA.
+func Syrk(C, A *Matrix, opts AutoOptions) error {
+	return Do(Request{Op: OpSyrk, C: C, A: A}, opts)
+}
+
 // AutoPlanFor reports the plan Auto would use for a shape (tuning it on
 // first touch), without multiplying.
 func AutoPlanFor(m, k, n int, opts AutoOptions) (AutoPlan, error) {
@@ -245,10 +303,10 @@ func sharedAuto(opts AutoOptions) (*AutoExecutor, error) {
 // sets that behave identically render identically. Shared by the Auto
 // dispatcher map and the shared-batcher map.
 func autoOptionsKey(norm AutoOptions) string {
-	return fmt.Sprintf("w%d cap%d min%d s%d k%d t%d pb%d cse%t alg%s st%v be%s disk%t prof%s",
-		norm.Workers, norm.Workspace, norm.MinDim, norm.MaxSteps, norm.ProbeTopK,
+	return fmt.Sprintf("%s min%d s%d k%d t%d pb%d cse%t alg%s st%v disk%t prof%s",
+		norm.Resources.Key(), norm.MinDim, norm.MaxSteps, norm.ProbeTopK,
 		norm.ProbeTrials, norm.ProbeBudget, norm.CSE, strings.Join(norm.Algorithms, ","),
-		norm.Strategies, strings.Join(norm.Backends, ","), norm.NoDiskCache, norm.Profile.Fingerprint())
+		norm.Strategies, norm.NoDiskCache, norm.Profile.Fingerprint())
 }
 
 // BatchOptions configures a Batcher (and MultiplyBatch). The zero value is
@@ -377,8 +435,8 @@ var (
 // for the process lifetime (its runner goroutines park on an empty queue).
 func sharedBatcher(opts BatchOptions) (*Batcher, error) {
 	norm := opts.Normalized()
-	key := fmt.Sprintf("w%d ws%d e%d g%d np%t q%d ag%d | %s",
-		norm.Workers, norm.Workspace, norm.MaxEntries, norm.GrainFLOPs,
+	key := fmt.Sprintf("%s e%d g%d np%t q%d ag%d | %s",
+		norm.Resources.Key(), norm.MaxEntries, norm.GrainFLOPs,
 		norm.NoPipeline, norm.QueueDepth, norm.AgingWindow,
 		autoOptionsKey(norm.Tuning.Normalized()))
 	batchMu.Lock()
@@ -423,12 +481,17 @@ func Multiply(C, A, B *Matrix, algorithm string, opts Options) error {
 }
 
 // Classical computes C = A·B with the blocked classical kernel (the
-// repository's vendor-dgemm stand-in), sequentially.
-func Classical(C, A, B *Matrix) { gemm.Mul(C, A, B) }
+// repository's vendor-dgemm stand-in), sequentially. It routes through the
+// backend registry's dispatch explicitly, so the process-default backend —
+// SetDefault, or the FASTMM_BACKEND environment variable — is honored here
+// exactly as it is in tuned plans.
+func Classical(C, A, B *Matrix) { gemm.Dispatch(gemm.Default(), C, 1, A, B, false, 1) }
 
 // ClassicalParallel computes C = A·B with the classical kernel using up to
-// workers goroutines.
-func ClassicalParallel(C, A, B *Matrix, workers int) { gemm.MulParallel(C, 1, A, B, workers) }
+// workers goroutines, through the same registry dispatch as Classical.
+func ClassicalParallel(C, A, B *Matrix, workers int) {
+	gemm.Dispatch(gemm.Default(), C, 1, A, B, false, workers)
+}
 
 // EffectiveGFLOPS is the paper's Equation (3) metric for a P×Q×R
 // multiplication: (2PQR − PR) / time · 1e-9. It equals true GFLOPS for the

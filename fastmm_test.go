@@ -51,7 +51,7 @@ func TestPublicMultiplyUnknownAlgorithm(t *testing.T) {
 }
 
 func TestExecutorReuse(t *testing.T) {
-	e, err := fastmm.NewExecutor("strassen", fastmm.Options{Steps: 1, Parallel: fastmm.DFS, Workers: 2})
+	e, err := fastmm.NewExecutor("strassen", fastmm.Options{Resources: fastmm.Resources{Workers: 2}, Steps: 1, Parallel: fastmm.DFS})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastmm/internal/op"
 	"fastmm/internal/tuner"
 )
 
@@ -22,14 +23,25 @@ var ErrAdmissionDenied = errors.New("batch: admission denied: deadline cannot be
 // svcAlpha is the EWMA weight of each new service-time observation.
 const svcAlpha = 0.2
 
-// svcEstimator tracks one expected service time per shape class: seeded
-// from the calibrated cost model (the tuned plan's predicted seconds when a
-// class has been tuned, the machine's classical gemm curve before that) and
-// then pulled toward reality by an EWMA of observed execution times. Reads
-// and updates are lock-free after a class's first touch.
+// svcEstimator tracks one expected service time per (op, shape class):
+// seeded from the calibrated cost model (the tuned plan's predicted seconds
+// when a class has been tuned, the machine's classical gemm curve before
+// that) and then pulled toward reality by an EWMA of observed execution
+// times. The op is part of the key because the operations genuinely differ —
+// an AᵗA of a class runs at ~2/3 the flops of its general multiply — and a
+// shared estimate would mis-price admission for both. Reads and updates are
+// lock-free after a key's first touch.
 type svcEstimator struct {
-	mu      sync.RWMutex
-	byClass map[tuner.ShapeClass]*ewma
+	mu    sync.RWMutex
+	byKey map[svcKey]*ewma
+}
+
+// svcKey buckets estimates by plan space and shape class, matching the warm
+// pool's entryKey minus the width (service time is per problem, not per
+// internal split).
+type svcKey struct {
+	op    op.Op
+	class tuner.ShapeClass
 }
 
 // ewma holds a float64 in atomic bits so observe can CAS without a lock.
@@ -57,31 +69,32 @@ func (e *ewma) observe(x float64) {
 }
 
 func newSvcEstimator() *svcEstimator {
-	return &svcEstimator{byClass: map[tuner.ShapeClass]*ewma{}}
+	return &svcEstimator{byKey: map[svcKey]*ewma{}}
 }
 
-// cell returns the class's estimate cell, creating it on first touch (the
-// only allocation in the estimator's lifetime per class).
-func (s *svcEstimator) cell(class tuner.ShapeClass) *ewma {
+// cell returns the key's estimate cell, creating it on first touch (the
+// only allocation in the estimator's lifetime per key).
+func (s *svcEstimator) cell(o op.Op, class tuner.ShapeClass) *ewma {
+	key := svcKey{op: o.PlanOp(), class: class}
 	s.mu.RLock()
-	e := s.byClass[class]
+	e := s.byKey[key]
 	s.mu.RUnlock()
 	if e != nil {
 		return e
 	}
 	s.mu.Lock()
-	if e = s.byClass[class]; e == nil {
+	if e = s.byKey[key]; e == nil {
 		e = &ewma{}
-		s.byClass[class] = e
+		s.byKey[key] = e
 	}
 	s.mu.Unlock()
 	return e
 }
 
-// estimate returns the class's expected service seconds (0 = no estimate).
-func (s *svcEstimator) estimate(class tuner.ShapeClass) float64 {
+// estimate returns the key's expected service seconds (0 = no estimate).
+func (s *svcEstimator) estimate(o op.Op, class tuner.ShapeClass) float64 {
 	s.mu.RLock()
-	e := s.byClass[class]
+	e := s.byKey[svcKey{op: o.PlanOp(), class: class}]
 	s.mu.RUnlock()
 	if e == nil {
 		return 0
@@ -89,36 +102,37 @@ func (s *svcEstimator) estimate(class tuner.ShapeClass) float64 {
 	return e.load()
 }
 
-// seed installs a model-derived estimate only while the class has no value
+// seed installs a model-derived estimate only while the key has no value
 // yet — live observations always win over the model.
-func (s *svcEstimator) seed(class tuner.ShapeClass, secs float64) {
+func (s *svcEstimator) seed(o op.Op, class tuner.ShapeClass, secs float64) {
 	if secs <= 0 {
 		return
 	}
-	c := s.cell(class)
+	c := s.cell(o, class)
 	c.bits.CompareAndSwap(0, math.Float64bits(secs))
 }
 
-// observe folds a measured execution time into the class's EWMA.
-func (s *svcEstimator) observe(class tuner.ShapeClass, secs float64) {
+// observe folds a measured execution time into the key's EWMA.
+func (s *svcEstimator) observe(o op.Op, class tuner.ShapeClass, secs float64) {
 	if secs <= 0 {
 		return
 	}
-	s.cell(class).observe(secs)
+	s.cell(o, class).observe(secs)
 }
 
 // estimateFor returns the shape's class and its expected service time in
-// nanoseconds, seeding a fresh class from the calibrated machine's
-// classical time (the optimistic floor — fast plans only beat it). Every
-// async submission calls this: the estimate prices the item into the
-// queue's backlog accounting, whether or not the item carries a deadline.
-func (b *Batcher) estimateFor(m, k, n int) (tuner.ShapeClass, int64) {
+// nanoseconds, seeding a fresh (op, class) from the calibrated machine's
+// classical time of the gemm-equivalent triple (the optimistic floor — fast
+// plans only beat it). Every async submission calls this: the estimate
+// prices the item into the queue's backlog accounting, whether or not the
+// item carries a deadline.
+func (b *Batcher) estimateFor(o op.Op, m, k, n int) (tuner.ShapeClass, int64) {
 	class := tuner.ClassOf(m, k, n)
-	secs := b.est.estimate(class)
+	secs := b.est.estimate(o, class)
 	if secs <= 0 && b.prof != nil {
 		cm, ck, cn := class.Dims()
 		secs = b.prof.Machine.ClassicalTime(cm, ck, cn, b.opts.Workers)
-		b.est.seed(class, secs)
+		b.est.seed(o, class, secs)
 	}
 	if secs <= 0 {
 		return class, 0

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
 	"fastmm/internal/tuner"
 )
 
@@ -41,7 +42,7 @@ func newAdmissionHarness(t *testing.T) *admissionHarness {
 // overriding whatever the cost model seeded — backlogs become exact
 // multiples of secs.
 func (h *admissionHarness) setEstimate(m, k, n int, secs float64) {
-	h.b.est.cell(tuner.ClassOf(m, k, n)).bits.Store(math.Float64bits(secs))
+	h.b.est.cell(op.Multiply, tuner.ClassOf(m, k, n)).bits.Store(math.Float64bits(secs))
 }
 
 // fill queues count no-deadline items on the lane (the backlog).
@@ -235,7 +236,7 @@ func TestAdmissionSkipsAlreadyExpired(t *testing.T) {
 // turns queue length into backlog seconds.
 func TestAdmissionEstimatorSeedsFromModel(t *testing.T) {
 	b := newTestBatcher(t, testOptions(1))
-	class, est := b.estimateFor(256, 256, 256)
+	class, est := b.estimateFor(op.Multiply, 256, 256, 256)
 	if class != tuner.ClassOf(256, 256, 256) {
 		t.Fatalf("estimateFor class = %v", class)
 	}
@@ -243,7 +244,7 @@ func TestAdmissionEstimatorSeedsFromModel(t *testing.T) {
 		t.Fatal("estimateFor must seed a positive estimate from the calibrated model")
 	}
 	// The estimate is stable and cached until live observations move it.
-	if _, again := b.estimateFor(256, 256, 256); again != est {
+	if _, again := b.estimateFor(op.Multiply, 256, 256, 256); again != est {
 		t.Fatalf("estimate changed without observations: %d → %d", est, again)
 	}
 }

@@ -34,12 +34,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
+	"fastmm/internal/resources"
 	"fastmm/internal/tuner"
 )
 
@@ -50,24 +51,31 @@ var ErrClosed = errors.New("batch: batcher is closed")
 // prefers inter-multiply concurrency over splitting itself (Options.GrainFLOPs).
 const DefaultGrainFLOPs = 64 << 20
 
+// Resources aliases the shared execution budget (internal/resources) so
+// callers can write batch.Options{Resources: batch.Resources{...}} without
+// importing the resources package themselves.
+type Resources = resources.Resources
+
 // Options configures a Batcher. The zero value is ready to use: GOMAXPROCS
 // workers, an unlimited warm pool of up to DefaultMaxEntries entries,
 // pipelined streams, and default tuning behavior.
 type Options struct {
-	// Workers is the total goroutine budget across every multiplication in
-	// flight (default GOMAXPROCS). A single large multiply may use all of
-	// it; concurrent submissions split it between them. The budget is
-	// honored literally end to end: the semaphore grants tokens per plan
+	// Resources is the shared execution budget (internal/resources). Workers
+	// is the total goroutine budget across every multiplication in flight
+	// (default GOMAXPROCS): a single large multiply may use all of it,
+	// concurrent submissions split it between them, and the budget is
+	// honored literally end to end — the semaphore grants tokens per plan
 	// width and the gemm layer runs exactly the width it is handed (it no
 	// longer silently clamps to GOMAXPROCS), so a Workers above the core
-	// count oversubscribes rather than silently shrinking.
-	Workers int
-	// Workspace, when positive, bounds the bytes of workspace the warm-entry
-	// pool may keep retained across calls: least-recently-used entries are
-	// evicted (executor, arenas and all) until the pool fits. The most
-	// recently used entry always survives, so a budget below one entry's
-	// footprint degrades to per-class-switch rebuilding, never to failure.
-	Workspace int64
+	// count oversubscribes rather than silently shrinking. Workspace, when
+	// positive, bounds the bytes of workspace the warm-entry pool may keep
+	// retained across calls: least-recently-used entries are evicted
+	// (executor, arenas and all) until the pool fits; the most recently used
+	// entry always survives, so a budget below one entry's footprint
+	// degrades to per-class-switch rebuilding, never to failure. Backends,
+	// when set, restricts the leaf-kernel backends the per-width tuners
+	// enumerate (it seeds Tuning.Backends unless that is set itself).
+	resources.Resources
 	// MaxEntries bounds the warm-entry count independently of bytes
 	// (default DefaultMaxEntries).
 	MaxEntries int
@@ -108,9 +116,7 @@ const DefaultMaxEntries = 64
 const DefaultAgingWindow = time.Second
 
 func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Resources = o.Resources.Normalized()
 	if o.MaxEntries <= 0 {
 		o.MaxEntries = DefaultMaxEntries
 	}
@@ -137,8 +143,13 @@ func (o Options) withDefaults() Options {
 // fastmm's shared-batcher map).
 func (o Options) Normalized() Options { return o.withDefaults() }
 
-// entryKey identifies one warm entry: a shape class at one internal width.
+// entryKey identifies one warm entry: an operation's plan space (op.PlanOp —
+// MultiplyAdd shares Multiply's entries) and shape class at one internal
+// width. Per-op bucketing means an AᵗA stream and a general-multiply stream
+// of the same class each keep their own tuned plan, warm executor, and
+// service-time estimate.
 type entryKey struct {
+	op      op.Op
 	class   tuner.ShapeClass
 	workers int
 }
@@ -170,7 +181,7 @@ func (t *Ticket) Wait() error {
 // task is one queued submission; it embeds the Ticket so the async path
 // costs one struct and one channel per item, not three structs.
 type task struct {
-	C, A, B  *mat.Dense
+	req      op.Request
 	lane     Lane
 	deadline time.Time
 	callback func(error)
@@ -278,6 +289,9 @@ func (b *Batcher) tunerFor(w int) (*tuner.Tuner, error) {
 	}
 	topts := b.opts.Tuning
 	topts.Workers = w
+	if len(topts.Backends) == 0 {
+		topts.Backends = b.opts.Backends
+	}
 	if b.prof != nil {
 		topts.Profile = b.prof
 	}
@@ -302,31 +316,48 @@ func (b *Batcher) Multiply(C, A, B *mat.Dense) error {
 	if err := checkDims(C, A, B); err != nil {
 		return err
 	}
+	return b.doSync(op.Request{Op: op.Multiply, C: C, A: A, B: B})
+}
+
+// Do executes one operation-typed request — C = Alpha·op(A,B) + Beta·C —
+// synchronously through the warm entry for the request's (op, shape class),
+// with the same budget sharing and lifecycle accounting as Multiply.
+func (b *Batcher) Do(req op.Request) error {
+	req = req.Normalized()
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	return b.doSync(req)
+}
+
+func (b *Batcher) doSync(req op.Request) error {
 	if err := b.beginSync(); err != nil {
 		return err
 	}
 	defer b.doneOutstanding(nil) // sync errors belong to this caller alone
 	load := b.executing.Add(1)
 	defer b.executing.Add(-1)
-	e, err := b.entryFor(A.Rows(), A.Cols(), B.Cols(), int(load))
+	m, k, n := req.Shape()
+	e, err := b.entryFor(req.Op, m, k, n, int(load))
 	if err != nil {
 		return err
 	}
-	err = b.timedRun(e, C, A, B)
+	err = b.timedRun(e, req)
 	b.met.syncDone.Add(1)
 	return err
 }
 
 // timedRun is run with the shared per-execution metrics and service-time
-// feedback folded in: backend mix, effective flops and busy time, and the
-// class's EWMA estimate (the admission currency). Every execution path —
-// sync, async, stream — funnels through it.
-func (b *Batcher) timedRun(e *warmEntry, C, A, B *mat.Dense) error {
+// feedback folded in: op and backend mix, effective flops and busy time, and
+// the (op, class) EWMA estimate (the admission currency). Every execution
+// path — sync, async, stream — funnels through it.
+func (b *Batcher) timedRun(e *warmEntry, req op.Request) error {
 	start := b.clock.Now()
-	err := b.run(e, C, A, B)
+	err := b.run(e, req)
 	d := b.clock.Now().Sub(start)
-	b.met.recordExec(e.te.Plan().Backend, A.Rows(), A.Cols(), B.Cols(), d)
-	b.est.observe(e.key.class, d.Seconds())
+	m, k, n := req.Shape()
+	b.met.recordExec(e.te.Plan().Backend, req.Op, m, k, n, d)
+	b.est.observe(e.key.op, e.key.class, d.Seconds())
 	return err
 }
 
@@ -372,12 +403,29 @@ func (b *Batcher) SubmitWith(C, A, B *mat.Dense, opts SubmitOpts) (*Ticket, erro
 	if err := checkDims(C, A, B); err != nil {
 		return nil, err
 	}
+	return b.submit(op.Request{Op: op.Multiply, C: C, A: A, B: B}, opts)
+}
+
+// SubmitRequest enqueues one operation-typed request with per-item
+// scheduling options — the Request-API form of SubmitWith, with identical
+// lane, deadline, admission, callback, and lifecycle semantics. The
+// request's operands must stay untouched until the Ticket resolves.
+func (b *Batcher) SubmitRequest(req op.Request, opts SubmitOpts) (*Ticket, error) {
+	req = req.Normalized()
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
+	return b.submit(req, opts)
+}
+
+func (b *Batcher) submit(req op.Request, opts SubmitOpts) (*Ticket, error) {
 	if !opts.Lane.valid() {
 		return nil, fmt.Errorf("batch: invalid lane %d", opts.Lane)
 	}
-	tk := &task{C: C, A: A, B: B, lane: opts.Lane, deadline: opts.Deadline,
+	tk := &task{req: req, lane: opts.Lane, deadline: opts.Deadline,
 		callback: opts.Callback, ticket: Ticket{done: make(chan struct{})}}
-	tk.class, tk.est = b.estimateFor(A.Rows(), A.Cols(), B.Cols())
+	m, k, n := req.Shape()
+	tk.class, tk.est = b.estimateFor(req.Op, m, k, n)
 	lc := &b.met.lanes[opts.Lane]
 	b.submitMu.Lock()
 	if b.closed {
@@ -540,14 +588,23 @@ func (b *Batcher) QueueDepth() int {
 // Like every entry-building path it registers in the outstanding accounting,
 // so it cannot tune and install retained state after Close returned.
 func (b *Batcher) PlanFor(m, k, n int) (tuner.Plan, error) {
+	return b.PlanForOp(op.Multiply, m, k, n)
+}
+
+// PlanForOp is PlanFor for an operation-typed workload; (m,k,n) is the op's
+// gemm-equivalent product triple (op.Op.Shape).
+func (b *Batcher) PlanForOp(o op.Op, m, k, n int) (tuner.Plan, error) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return tuner.Plan{}, fmt.Errorf("batch: invalid shape %d×%d×%d", m, k, n)
+	}
+	if !o.Valid() {
+		return tuner.Plan{}, fmt.Errorf("batch: invalid op %d", int(o))
 	}
 	if err := b.beginSync(); err != nil {
 		return tuner.Plan{}, err
 	}
 	defer b.doneOutstanding(nil)
-	e, err := b.entryFor(m, k, n, 1)
+	e, err := b.entryFor(o, m, k, n, 1)
 	if err != nil {
 		return tuner.Plan{}, err
 	}
@@ -636,9 +693,10 @@ func (b *Batcher) execute(tk *task) {
 	lc.queueWait.observe(start.Sub(tk.submitted))
 	lc.executing.Add(1)
 	load := int(b.executing.Add(1))
-	e, err := b.entryFor(tk.A.Rows(), tk.A.Cols(), tk.B.Cols(), load)
+	m, k, n := tk.req.Shape()
+	e, err := b.entryFor(tk.req.Op, m, k, n, load)
 	if err == nil {
-		err = b.timedRun(e, tk.C, tk.A, tk.B)
+		err = b.timedRun(e, tk.req)
 	}
 	b.executing.Add(-1)
 	lc.service.observe(b.clock.Now().Sub(start))
@@ -691,12 +749,12 @@ func (b *Batcher) doneOutstanding(err error) {
 	b.outMu.Unlock()
 }
 
-// run executes one multiplication through a warm entry under the semaphore
-// and refreshes the entry's byte accounting. The steady-state path allocates
+// run executes one request through a warm entry under the semaphore and
+// refreshes the entry's byte accounting. The steady-state path allocates
 // nothing beyond the executor's own per-call context.
-func (b *Batcher) run(e *warmEntry, C, A, B *mat.Dense) error {
+func (b *Batcher) run(e *warmEntry, req op.Request) error {
 	b.sem.acquire(e.tokens)
-	err := e.te.Multiply(C, A, B)
+	err := e.te.Run(req)
 	b.sem.release(e.tokens)
 	b.touch(e)
 	return err
@@ -744,11 +802,12 @@ func satMul64(a, b int64) int64 {
 	return a * b
 }
 
-// entryFor resolves (building if needed) the warm entry for a shape at the
-// current load. First touches of a class+width tune once — concurrent
-// first-touchers wait for the builder instead of tuning in parallel.
-func (b *Batcher) entryFor(m, k, n, load int) (*warmEntry, error) {
-	key := entryKey{class: tuner.ClassOf(m, k, n), workers: b.widthFor(m, k, n, load)}
+// entryFor resolves (building if needed) the warm entry for an (op, shape)
+// at the current load; (m,k,n) is the op's gemm-equivalent triple. First
+// touches of an op+class+width tune once — concurrent first-touchers wait
+// for the builder instead of tuning in parallel.
+func (b *Batcher) entryFor(o op.Op, m, k, n, load int) (*warmEntry, error) {
+	key := entryKey{op: o.PlanOp(), class: tuner.ClassOf(m, k, n), workers: b.widthFor(m, k, n, load)}
 	for {
 		b.mu.Lock()
 		if e, ok := b.entries[key]; ok {
@@ -786,7 +845,7 @@ func (b *Batcher) liveEntry(e *warmEntry, m, k, n int) (*warmEntry, error) {
 	if live {
 		return e, nil
 	}
-	return b.entryFor(m, k, n, 1)
+	return b.entryFor(e.key.op, m, k, n, 1)
 }
 
 // buildEntry tunes a class representative at the key's width and installs
@@ -799,7 +858,7 @@ func (b *Batcher) buildEntry(key entryKey, ch chan struct{}) (*warmEntry, error)
 	tn, err := b.tunerFor(key.workers)
 	if err == nil {
 		cm, ck, cn := key.class.Dims()
-		te, err = tn.Entry(cm, ck, cn)
+		te, err = tn.EntryOp(key.op, cm, ck, cn)
 	}
 	b.mu.Lock()
 	delete(b.building, key)
@@ -825,9 +884,9 @@ func (b *Batcher) buildEntry(key entryKey, ch chan struct{}) (*warmEntry, error)
 	// EWMA observations take over from the first real execution.
 	plan := te.Plan()
 	if secs := plan.MeasuredSeconds; secs > 0 {
-		b.est.seed(key.class, secs)
+		b.est.seed(key.op, key.class, secs)
 	} else if plan.PredictedSeconds > 0 {
-		b.est.seed(key.class, plan.PredictedSeconds)
+		b.est.seed(key.op, key.class, plan.PredictedSeconds)
 	}
 	return e, nil
 }
@@ -863,7 +922,7 @@ func (b *Batcher) evictLocked() {
 		b.tunersMu.Lock()
 		if tn, ok := b.tuners[e.key.workers]; ok {
 			cm, ck, cn := e.key.class.Dims()
-			tn.Forget(cm, ck, cn)
+			tn.ForgetOp(e.key.op, cm, ck, cn)
 		}
 		b.tunersMu.Unlock()
 	}

@@ -10,6 +10,7 @@ import (
 	"fastmm/internal/costmodel"
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
 	"fastmm/internal/tuner"
 )
 
@@ -43,7 +44,7 @@ func testProfile(workers int) *tuner.Profile {
 
 func testOptions(workers int) Options {
 	return Options{
-		Workers: workers,
+		Resources: Resources{Workers: workers},
 		// Disable lane aging by default: the scheduling-order tests pin down
 		// strict priority, and a wall-clock hiccup past the default window
 		// must not promote a lane head mid-test. Aging has dedicated tests.
@@ -111,7 +112,7 @@ func TestSameClassSharesWarmEntry(t *testing.T) {
 		if got := tuner.ClassOf(m, k, n); got != wantClass {
 			t.Fatalf("ClassOf(%d,%d,%d) = %v, want %v", m, k, n, got, wantClass)
 		}
-		e, err := b.entryFor(m, k, n, 1)
+		e, err := b.entryFor(op.Multiply, m, k, n, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -407,7 +408,7 @@ func TestPlanForInvalid(t *testing.T) {
 }
 
 func ExampleBatcher() {
-	b, err := New(Options{Workers: 2, Tuning: tuner.Options{
+	b, err := New(Options{Resources: Resources{Workers: 2}, Tuning: tuner.Options{
 		Profile: testProfile(2), ProbeTopK: tuner.NoProbes, NoDiskCache: true}})
 	if err != nil {
 		panic(err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fastmm/internal/gemm"
+	"fastmm/internal/op"
 )
 
 // The metrics layer is the observability half of the serving-hardening
@@ -147,6 +148,9 @@ type metrics struct {
 	// once at New from the registry (plus the "" alias for the default), so
 	// hot-path lookups are read-only and allocation-free.
 	backends map[string]*atomic.Int64
+	// ops counts executions per operation, indexed by op.Op — a fixed
+	// array, so the hot path stays allocation- and lock-free.
+	ops [op.NumOps]atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -160,12 +164,19 @@ func newMetrics() *metrics {
 	return m
 }
 
-// recordExec accumulates the shared per-execution metrics: the backend mix,
-// the effective-flop throughput numerator/denominator, and nothing else —
-// the lane histograms belong to the async path alone.
-func (m *metrics) recordExec(backend string, mdim, kdim, ndim int, d time.Duration) {
+// recordExec accumulates the shared per-execution metrics: the op and
+// backend mix, the effective-flop throughput numerator/denominator, and
+// nothing else — the lane histograms belong to the async path alone. The
+// (mdim,kdim,ndim) triple is the op's gemm-equivalent shape, so effective
+// flops stay the paper's classical-equivalent currency for every op (an AᵗA
+// that beats the symmetric flop bound shows a rate above the gemm curve,
+// exactly like a fast multiply does).
+func (m *metrics) recordExec(backend string, o op.Op, mdim, kdim, ndim int, d time.Duration) {
 	if c := m.backends[backend]; c != nil {
 		c.Add(1)
+	}
+	if o.Valid() {
+		m.ops[o].Add(1)
 	}
 	// Effective flops, Eq. (3): 2·m·k·n − m·n, saturating like the width
 	// policy's product so absurd shapes stay representable.
@@ -220,6 +231,9 @@ type Stats struct {
 	WarmMisses        int64
 	// Backends counts executions per leaf-kernel backend.
 	Backends map[string]int64
+	// Ops counts executions per operation (op.Op.String names: "multiply",
+	// "ata", "syrk", "multiply-add"), all paths combined.
+	Ops map[string]int64
 	// EffectiveGFLOPS is the paper's Eq. (3) rate over the batcher's
 	// lifetime: accumulated effective flops divided by accumulated
 	// execution (busy) time — aggregate throughput while multiplying.
@@ -283,6 +297,12 @@ func (b *Batcher) Stats() Stats {
 		}
 		if v := c.Load(); v > 0 {
 			s.Backends[name] = v
+		}
+	}
+	s.Ops = map[string]int64{}
+	for i := range b.met.ops {
+		if v := b.met.ops[i].Load(); v > 0 {
+			s.Ops[op.Op(i).String()] = v
 		}
 	}
 	if busy := b.met.busyNanos.Load(); busy > 0 {

@@ -13,6 +13,7 @@ import (
 
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
 	"fastmm/internal/tuner"
 )
 
@@ -96,7 +97,7 @@ func TestMetricsHotPathAllocFree(t *testing.T) {
 	m := newMetrics()
 	est := newSvcEstimator()
 	class := tuner.ClassOf(64, 64, 64)
-	est.seed(class, 0.01) // first touch allocates the cell; steady state must not
+	est.seed(op.Multiply, class, 0.01) // first touch allocates the cell; steady state must not
 	backend := gemm.Default().Name()
 	lc := &m.lanes[LaneHigh]
 	allocs := testing.AllocsPerRun(200, func() {
@@ -104,9 +105,9 @@ func TestMetricsHotPathAllocFree(t *testing.T) {
 		lc.queueWait.observe(37 * time.Microsecond)
 		lc.service.observe(2 * time.Millisecond)
 		lc.done.Add(1)
-		m.recordExec(backend, 64, 64, 64, 2*time.Millisecond)
+		m.recordExec(backend, op.Multiply, 64, 64, 64, 2*time.Millisecond)
 		m.warmHits.Add(1)
-		est.observe(class, 0.01)
+		est.observe(op.Multiply, class, 0.01)
 	})
 	if allocs != 0 {
 		t.Fatalf("metrics hot path allocates %.1f allocs/op, want 0", allocs)
@@ -116,7 +117,7 @@ func TestMetricsHotPathAllocFree(t *testing.T) {
 func TestRecordExecEffectiveFlops(t *testing.T) {
 	m := newMetrics()
 	name := gemm.Default().Name()
-	m.recordExec(name, 100, 100, 100, time.Second)
+	m.recordExec(name, op.Multiply, 100, 100, 100, time.Second)
 	// Paper Eq. (3): effective flops = 2·m·k·n − m·n.
 	if got, want := m.effFlops.Load(), int64(2*100*100*100-100*100); got != want {
 		t.Fatalf("effective flops = %d, want %d", got, want)
@@ -128,7 +129,7 @@ func TestRecordExecEffectiveFlops(t *testing.T) {
 		t.Fatalf("backend %q count = %d, want 1", name, got)
 	}
 	// The "" alias counts onto the default backend, never its own bucket.
-	m.recordExec("", 10, 10, 10, time.Millisecond)
+	m.recordExec("", op.Multiply, 10, 10, 10, time.Millisecond)
 	if got := m.backends[name].Load(); got != 2 {
 		t.Fatalf("default-alias execution not folded into %q (count %d)", name, got)
 	}

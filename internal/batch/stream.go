@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
 )
 
 // Stream is a same-shape pipeline over a Batcher: a fixed ⟨m,k,n⟩ warm entry
@@ -51,7 +52,7 @@ func (b *Batcher) Stream(m, k, n int) (*Stream, error) {
 		return nil, err
 	}
 	defer b.doneOutstanding(nil)
-	e, err := b.entryFor(m, k, n, 1)
+	e, err := b.entryFor(op.Multiply, m, k, n, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +95,7 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 	s.e = e
 	if !s.pipe {
 		s.b.executing.Add(1)
-		err := s.b.timedRun(s.e, C, A, B)
+		err := s.b.timedRun(s.e, op.Request{Op: op.Multiply, C: C, A: A, B: B})
 		s.b.executing.Add(-1)
 		s.b.met.streamDone.Add(1)
 		s.b.doneOutstanding(nil) // the error is returned to this caller alone
@@ -148,7 +149,7 @@ func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) *Ticket {
 	t := &Ticket{done: make(chan struct{})}
 	go func() {
 		b.executing.Add(1)
-		t.err = b.timedRun(e, C, A, B)
+		t.err = b.timedRun(e, op.Request{Op: op.Multiply, C: C, A: A, B: B})
 		b.executing.Add(-1)
 		b.met.streamDone.Add(1)
 		close(t.done)

@@ -40,7 +40,7 @@ func runAllocs(cfg Config) ([]Point, error) {
 		if mode == core.Sequential {
 			workers = 1
 		}
-		e, err := core.New(a, core.Options{Steps: steps, Parallel: mode, Workers: workers})
+		e, err := core.New(a, core.Options{Resources: core.Resources{Workers: workers}, Steps: steps, Parallel: mode})
 		if err != nil {
 			return nil, err
 		}

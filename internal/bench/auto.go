@@ -61,7 +61,7 @@ func runAuto(cfg Config) ([]Point, error) {
 	// One calibration for the whole experiment; quick protocol in Quick
 	// mode so the smoke tests stay cheap.
 	prof := tuner.Calibrate(workers, cfg.Quick)
-	tn, err := tuner.New(tuner.Options{Workers: workers, Profile: prof, NoDiskCache: true})
+	tn, err := tuner.New(tuner.Options{Resources: tuner.Resources{Workers: workers}, Profile: prof, NoDiskCache: true})
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +92,9 @@ func runAuto(cfg Config) ([]Point, error) {
 				for _, steps := range stepsList {
 					for _, sched := range scheds {
 						e, err := core.New(a, core.Options{
-							Steps: steps, Parallel: sched, Workers: workers,
-							Strategy: addchain.WriteOnce,
+							Steps: steps, Parallel: sched,
+							Resources: core.Resources{Workers: workers},
+							Strategy:  addchain.WriteOnce,
 						})
 						if err != nil {
 							return nil, err

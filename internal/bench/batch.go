@@ -44,14 +44,14 @@ func runBatch(cfg Config) ([]Point, error) {
 
 	prof := tuner.Calibrate(w, cfg.Quick)
 	bt, err := batch.New(batch.Options{
-		Workers: w,
-		Tuning:  tuner.Options{Profile: prof, NoDiskCache: true},
+		Resources: batch.Resources{Workers: w},
+		Tuning:    tuner.Options{Profile: prof, NoDiskCache: true},
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer bt.Close()
-	tn, err := tuner.New(tuner.Options{Workers: w, Profile: prof, NoDiskCache: true})
+	tn, err := tuner.New(tuner.Options{Resources: tuner.Resources{Workers: w}, Profile: prof, NoDiskCache: true})
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +104,7 @@ func runBatch(cfg Config) ([]Point, error) {
 
 			start = time.Now()
 			err = ring.eachSeq(size, func(C, A, B *mat.Dense) error {
-				e, err := core.New(fixedAlg, core.Options{Steps: 1, Parallel: core.DFS, Workers: w})
+				e, err := core.New(fixedAlg, core.Options{Resources: core.Resources{Workers: w}, Steps: 1, Parallel: core.DFS})
 				if err != nil {
 					return err
 				}

@@ -39,7 +39,7 @@ func runFig4(cfg Config) ([]Point, error) {
 			pts = append(pts, sweepClassical(cfg, fmt.Sprintf("classical/%dw", w), panel.sizes, panel.shape, w)...)
 			for _, sched := range schedulers {
 				p, err := sweepFast(cfg, fmt.Sprintf("%v/%dw", sched, w), a, panel.sizes, panel.shape,
-					stepsList, core.Options{Parallel: sched, Workers: w})
+					stepsList, core.Options{Resources: core.Resources{Workers: w}, Parallel: sched})
 				if err != nil {
 					return nil, err
 				}
@@ -124,7 +124,7 @@ func parallelSpecs(name string, stepsList []int, workers, smallWorkers int) func
 		var opts []core.Options
 		for _, sc := range scheds {
 			for _, st := range stepsList {
-				opts = append(opts, core.Options{Parallel: sc, Workers: w, Steps: st})
+				opts = append(opts, core.Options{Resources: core.Resources{Workers: w}, Parallel: sc, Steps: st})
 			}
 		}
 		return opts
@@ -231,9 +231,9 @@ func runSquare54(cfg Config) ([]Point, error) {
 	pts = append(pts, sweepClassical(cfg, "classical", sizes, square, w)...)
 
 	strassenOpts := []core.Options{
-		{Parallel: core.BFS, Workers: w, Steps: 2},
-		{Parallel: core.Hybrid, Workers: w, Steps: 2},
-		{Parallel: core.Hybrid, Workers: w, Steps: 3},
+		{Parallel: core.BFS, Resources: core.Resources{Workers: w}, Steps: 2},
+		{Parallel: core.Hybrid, Resources: core.Resources{Workers: w}, Steps: 2},
+		{Parallel: core.Hybrid, Resources: core.Resources{Workers: w}, Steps: 3},
 	}
 	p, err := sweepFastMulti(cfg, "strassen", "strassen", sizes, square, strassenOpts)
 	if err != nil {
@@ -242,7 +242,7 @@ func runSquare54(cfg Config) ([]Point, error) {
 	pts = append(pts, p...)
 
 	exec, err := buildSchedule([]string{"fast336", "fast363", "fast633"},
-		core.Options{Parallel: core.BFS, Workers: w, Steps: 3})
+		core.Options{Resources: core.Resources{Workers: w}, Parallel: core.BFS, Steps: 3})
 	if err != nil {
 		return nil, err
 	}

@@ -21,9 +21,10 @@ func runSmoke(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkSmokeAllocs(b *testing.B)   { runSmoke(b, "allocs") }
-func BenchmarkSmokeAuto(b *testing.B)     { runSmoke(b, "auto") }
-func BenchmarkSmokeBatch(b *testing.B)    { runSmoke(b, "batch") }
-func BenchmarkSmokeBackends(b *testing.B) { runSmoke(b, "backends") }
-func BenchmarkSmokeFig4(b *testing.B)     { runSmoke(b, "fig4") }
-func BenchmarkSmokeFig5(b *testing.B)     { runSmoke(b, "fig5") }
+func BenchmarkSmokeAllocs(b *testing.B)     { runSmoke(b, "allocs") }
+func BenchmarkSmokeAuto(b *testing.B)       { runSmoke(b, "auto") }
+func BenchmarkSmokeBatch(b *testing.B)      { runSmoke(b, "batch") }
+func BenchmarkSmokeBackends(b *testing.B)   { runSmoke(b, "backends") }
+func BenchmarkSmokeStructured(b *testing.B) { runSmoke(b, "structured") }
+func BenchmarkSmokeFig4(b *testing.B)       { runSmoke(b, "fig4") }
+func BenchmarkSmokeFig5(b *testing.B)       { runSmoke(b, "fig5") }

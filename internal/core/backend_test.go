@@ -24,7 +24,7 @@ func TestExecutorPerBackend(t *testing.T) {
 
 	for _, name := range append([]string{""}, gemm.Names()...) {
 		for _, mode := range []Parallel{Sequential, DFS, BFS, Hybrid} {
-			e, err := New(a, Options{Steps: 2, Parallel: mode, Workers: 2, Backend: name})
+			e, err := New(a, Options{Resources: Resources{Workers: 2}, Steps: 2, Parallel: mode, Backend: name})
 			if err != nil {
 				t.Fatalf("backend %q: %v", name, err)
 			}

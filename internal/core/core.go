@@ -25,7 +25,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +32,7 @@ import (
 	"fastmm/internal/algo"
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/resources"
 	"fastmm/internal/workspace"
 )
 
@@ -67,8 +67,25 @@ func (p Parallel) String() string {
 	return fmt.Sprintf("Parallel(%d)", int(p))
 }
 
+// Resources is the shared execution budget embedded in Options — one struct
+// (internal/resources) reused by the tuner's and batcher's options too, so
+// Workers/Workspace defaulting and cache-key rendering happen in one place.
+type Resources = resources.Resources
+
 // Options configures an Executor.
 type Options struct {
+	// Resources is the execution budget: Workers bounds the goroutines used
+	// (default GOMAXPROCS); Workspace, when positive, caps the predicted
+	// workspace (in bytes, per WorkspaceBytes) a Multiply call may claim. A
+	// BFS or HYBRID call whose per-branch workspace would exceed the cap
+	// degrades to DFS — the paper's memory-vs-parallelism dial (§4,
+	// Table 3) — and the executor's arena pool sheds arenas beyond
+	// (approximately) this many bytes, while always keeping one so reuse
+	// survives a cap below even the DFS footprint. Backends, when set, is
+	// validated against the registry (the executor itself runs the single
+	// Backend below; the list exists so one Resources value can be shared
+	// verbatim with the tuner and batcher options).
+	Resources
 	// Steps is the number of recursive steps before the classical base
 	// case. 0 selects automatic cutoff: recurse while every subproblem
 	// block dimension stays at least MinDim (§3.4's rule of thumb).
@@ -83,23 +100,13 @@ type Options struct {
 	// CSE applies greedy length-2 common-subexpression elimination to the
 	// S- and T-formation plans (§3.3).
 	CSE bool
-	// Parallel selects the scheduler; Workers bounds the goroutines used
-	// (default GOMAXPROCS).
+	// Parallel selects the scheduler.
 	Parallel Parallel
-	Workers  int
 	// Backend names the leaf-kernel backend (gemm.Backend) the base-case
 	// multiplications and peeling fixups run on: "portable", "simd", "blas",
 	// or "" for gemm.Default(). The autotuner sets it per plan; unknown
 	// names fail executor construction.
 	Backend string
-	// Workspace, when positive, caps the predicted workspace (in bytes,
-	// per WorkspaceBytes) a Multiply call may claim. A BFS or HYBRID call
-	// whose per-branch workspace would exceed the cap degrades to DFS —
-	// the paper's memory-vs-parallelism dial (§4, Table 3) — and the
-	// executor's arena pool sheds arenas beyond (approximately) this many
-	// bytes, while always keeping one so reuse survives a cap below even
-	// the DFS footprint.
-	Workspace int64
 	// Stats, when non-nil, accumulates scheduler counters across Multiply
 	// calls (atomic; safe under all schedulers). Used by tests and by the
 	// tracing output of cmd/fmmbench to validate §4's scheduling shapes.
@@ -144,12 +151,7 @@ func (o Options) withDefaults() Options {
 	if o.MinDim == 0 {
 		o.MinDim = 128
 	}
-	if o.Workers == 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.Workers < 1 {
-		o.Workers = 1
-	}
+	o.Resources = o.Resources.Normalized()
 	if o.Steps < 0 {
 		o.Steps = 0
 	}
@@ -208,6 +210,9 @@ func newSchedule(algs []*algo.Algorithm, opts Options, verify bool) (*Executor, 
 		return nil, fmt.Errorf("core: empty algorithm schedule")
 	}
 	opts = opts.withDefaults()
+	if err := opts.Resources.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	be, err := gemm.Resolve(opts.Backend)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -130,7 +130,7 @@ func TestParallelModes(t *testing.T) {
 	for _, mode := range []Parallel{Sequential, DFS, BFS, Hybrid} {
 		for _, workers := range []int{1, 2, 6} {
 			t.Run(fmt.Sprintf("%v-w%d", mode, workers), func(t *testing.T) {
-				e, err := New(catalog.Strassen(), Options{Steps: 2, Parallel: mode, Workers: workers})
+				e, err := New(catalog.Strassen(), Options{Resources: Resources{Workers: workers}, Steps: 2, Parallel: mode})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -143,7 +143,7 @@ func TestParallelModes(t *testing.T) {
 func TestParallelModesRectangular(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, mode := range []Parallel{DFS, BFS, Hybrid} {
-		e, err := New(catalog.MustGet("fast424"), Options{Steps: 1, Parallel: mode, Workers: 4})
+		e, err := New(catalog.MustGet("fast424"), Options{Resources: Resources{Workers: 4}, Steps: 1, Parallel: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func TestHybridManyWorkersFewTasks(t *testing.T) {
 	// Workers > leaf tasks: 7 leaves, 24 workers → everything deferred
 	// (bfsCut = 0); must still complete and be correct.
 	rng := rand.New(rand.NewSource(8))
-	e, err := New(catalog.Strassen(), Options{Steps: 1, Parallel: Hybrid, Workers: 24})
+	e, err := New(catalog.Strassen(), Options{Resources: Resources{Workers: 24}, Steps: 1, Parallel: Hybrid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestAutoCutoff(t *testing.T) {
 func TestAutoCutoffParallelModes(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	for _, mode := range []Parallel{BFS, Hybrid} {
-		e, err := New(catalog.Strassen(), Options{Steps: 0, MinDim: 16, Parallel: mode, Workers: 4})
+		e, err := New(catalog.Strassen(), Options{Resources: Resources{Workers: 4}, Steps: 0, MinDim: 16, Parallel: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,7 +249,7 @@ func TestEmptyDims(t *testing.T) {
 
 func TestExecutorReuseIsConcurrencySafe(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
-	e, _ := New(catalog.Strassen(), Options{Steps: 2, Parallel: BFS, Workers: 3})
+	e, _ := New(catalog.Strassen(), Options{Resources: Resources{Workers: 3}, Steps: 2, Parallel: BFS})
 	A, B := randMat(80, 80, rng), randMat(80, 80, rng)
 	want := mat.New(80, 80)
 	gemm.Naive(want, A, B)
@@ -287,11 +287,11 @@ func TestExecutorEquivalenceProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		a := catalog.MustGet(names[r.Intn(len(names))])
 		opts := Options{
-			Steps:    r.Intn(2) + 1,
-			Strategy: addchain.Strategy(r.Intn(3)),
-			CSE:      r.Intn(2) == 1,
-			Parallel: Parallel(r.Intn(4)),
-			Workers:  r.Intn(5) + 1,
+			Steps:     r.Intn(2) + 1,
+			Strategy:  addchain.Strategy(r.Intn(3)),
+			CSE:       r.Intn(2) == 1,
+			Parallel:  Parallel(r.Intn(4)),
+			Resources: Resources{Workers: r.Intn(5) + 1},
 		}
 		e, err := New(a, opts)
 		if err != nil {

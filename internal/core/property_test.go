@@ -28,7 +28,7 @@ func TestEveryCatalogAlgorithmMatchesGemm(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			b := a.Base
 			for _, mode := range modes {
-				e, err := New(a, Options{Steps: 1, Parallel: mode, Workers: 3})
+				e, err := New(a, Options{Resources: Resources{Workers: 3}, Steps: 1, Parallel: mode})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -70,7 +70,7 @@ func TestEveryCatalogAlgorithmMatchesGemm(t *testing.T) {
 func TestPeelingEdgeShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, mode := range []Parallel{Sequential, DFS, BFS, Hybrid} {
-		e := mustExec(t, "strassen", Options{Steps: 2, Parallel: mode, Workers: 4})
+		e := mustExec(t, "strassen", Options{Resources: Resources{Workers: 4}, Steps: 2, Parallel: mode})
 		for _, d := range [][3]int{{13, 9, 11}, {65, 67, 63}, {129, 127, 131}} {
 			A := randMat(d[0], d[1], rng)
 			B := randMat(d[1], d[2], rng)

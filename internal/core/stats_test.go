@@ -47,7 +47,8 @@ func TestStatsHybridDeferredCount(t *testing.T) {
 	for _, tc := range cases {
 		stats := &Stats{}
 		e, err := New(catalog.Strassen(), Options{
-			Steps: tc.steps, Parallel: Hybrid, Workers: tc.workers, Stats: stats,
+			Steps: tc.steps, Parallel: Hybrid, Stats: stats,
+			Resources: Resources{Workers: tc.workers},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -66,7 +67,7 @@ func TestStatsHybridDeferredCount(t *testing.T) {
 
 func TestStatsBFSSpawnsTasks(t *testing.T) {
 	stats := &Stats{}
-	e, err := New(catalog.Strassen(), Options{Steps: 2, Parallel: BFS, Workers: 4, Stats: stats})
+	e, err := New(catalog.Strassen(), Options{Resources: Resources{Workers: 4}, Steps: 2, Parallel: BFS, Stats: stats})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func TestDFSMultiplyIsAllocationFree(t *testing.T) {
 	}
 	for _, mode := range []Parallel{Sequential, DFS} {
 		for _, strat := range []addchain.Strategy{addchain.WriteOnce, addchain.Pairwise, addchain.Streaming} {
-			e := mustExec(t, "strassen", Options{Steps: 2, Parallel: mode, Workers: 1, Strategy: strat})
+			e := mustExec(t, "strassen", Options{Resources: Resources{Workers: 1}, Steps: 2, Parallel: mode, Strategy: strat})
 			// 128 divides exactly; 131 peels at every level, so the
 			// dynamic-peeling fixups are held to the same guarantee.
 			for _, n := range []int{128, 131} {
@@ -65,7 +65,7 @@ func TestDFSMultiplyIsAllocationFree(t *testing.T) {
 
 // TestDFSAllocationFreeWithCSE covers the CSE aux-temporary path.
 func TestDFSAllocationFreeWithCSE(t *testing.T) {
-	e := mustExec(t, "fast424", Options{Steps: 1, Parallel: DFS, Workers: 1, CSE: true})
+	e := mustExec(t, "fast424", Options{Resources: Resources{Workers: 1}, Steps: 1, Parallel: DFS, CSE: true})
 	C, A, B := randomProblem(128, 64, 128, 2)
 	if err := e.Multiply(C, A, B); err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestDFSAllocationFreeWithCSE(t *testing.T) {
 // task is the goroutine/closure overhead ceiling.
 func TestParallelSchedulersBoundedAllocs(t *testing.T) {
 	for _, mode := range []Parallel{BFS, Hybrid} {
-		e := mustExec(t, "strassen", Options{Steps: 2, Parallel: mode, Workers: 4})
+		e := mustExec(t, "strassen", Options{Resources: Resources{Workers: 4}, Steps: 2, Parallel: mode})
 		C, A, B := randomProblem(128, 128, 128, 3)
 		if err := e.Multiply(C, A, B); err != nil {
 			t.Fatal(err)
@@ -98,7 +98,7 @@ func TestParallelSchedulersBoundedAllocs(t *testing.T) {
 // TestWorkspaceRetainedGrowsThenStabilizes: the pool keeps warmed arenas so
 // repeat calls claim no new workspace.
 func TestWorkspaceRetainedGrowsThenStabilizes(t *testing.T) {
-	e := mustExec(t, "strassen", Options{Steps: 2, Parallel: DFS, Workers: 1})
+	e := mustExec(t, "strassen", Options{Resources: Resources{Workers: 1}, Steps: 2, Parallel: DFS})
 	if e.WorkspaceRetained() != 0 {
 		t.Fatalf("fresh executor retains %d bytes", e.WorkspaceRetained())
 	}
@@ -124,7 +124,7 @@ func TestWorkspaceRetainedGrowsThenStabilizes(t *testing.T) {
 // charges every concurrent branch, DFS only one per level, and streaming
 // needs more than write-once under DFS.
 func TestWorkspaceBytesOrdering(t *testing.T) {
-	opts := Options{Steps: 2, Workers: 4}
+	opts := Options{Resources: Resources{Workers: 4}, Steps: 2}
 	a, err := catalog.Get("strassen")
 	if err != nil {
 		t.Fatal(err)
@@ -137,9 +137,9 @@ func TestWorkspaceBytesOrdering(t *testing.T) {
 		return e
 	}
 	n := 256
-	dfs := mk(Options{Steps: opts.Steps, Workers: opts.Workers, Parallel: DFS}).WorkspaceBytes(n, n, n)
-	bfs := mk(Options{Steps: opts.Steps, Workers: opts.Workers, Parallel: BFS}).WorkspaceBytes(n, n, n)
-	stream := mk(Options{Steps: opts.Steps, Workers: opts.Workers, Parallel: DFS, Strategy: addchain.Streaming}).WorkspaceBytes(n, n, n)
+	dfs := mk(Options{Resources: Resources{Workers: opts.Workers}, Steps: opts.Steps, Parallel: DFS}).WorkspaceBytes(n, n, n)
+	bfs := mk(Options{Resources: Resources{Workers: opts.Workers}, Steps: opts.Steps, Parallel: BFS}).WorkspaceBytes(n, n, n)
+	stream := mk(Options{Resources: Resources{Workers: opts.Workers}, Steps: opts.Steps, Parallel: DFS, Strategy: addchain.Streaming}).WorkspaceBytes(n, n, n)
 	if dfs <= 0 || bfs <= 0 {
 		t.Fatalf("non-positive estimates dfs=%d bfs=%d", dfs, bfs)
 	}
@@ -152,7 +152,7 @@ func TestWorkspaceBytesOrdering(t *testing.T) {
 	// Below the recursion cutoff there is no fast-path workspace, only the
 	// gemm packing slabs.
 	slab := 8 * gemm.Default().PackFloatsPerWorker()
-	if got := mk(Options{Steps: opts.Steps, Workers: 1, Parallel: Sequential}).WorkspaceBytes(1, 1, 1); got != slab {
+	if got := mk(Options{Resources: Resources{Workers: 1}, Steps: opts.Steps, Parallel: Sequential}).WorkspaceBytes(1, 1, 1); got != slab {
 		t.Errorf("leaf-only estimate %d, want %d", got, slab)
 	}
 }
@@ -165,14 +165,14 @@ func TestWorkspaceCapDegradesBFSToDFS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	probe, err := New(a, Options{Steps: 2, Parallel: BFS, Workers: 4})
+	probe, err := New(a, Options{Resources: Resources{Workers: 4}, Steps: 2, Parallel: BFS})
 	if err != nil {
 		t.Fatal(err)
 	}
 	n := 128
 	need := probe.WorkspaceBytes(n, n, n)
 
-	e, err := New(a, Options{Steps: 2, Parallel: BFS, Workers: 4, Workspace: need / 2, Stats: &stats})
+	e, err := New(a, Options{Resources: Resources{Workers: 4, Workspace: need / 2}, Steps: 2, Parallel: BFS, Stats: &stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestWorkspaceCapDegradesBFSToDFS(t *testing.T) {
 
 	// A generous cap must leave BFS alone.
 	stats.Reset()
-	e2, err := New(a, Options{Steps: 2, Parallel: BFS, Workers: 4, Workspace: 4 * need, Stats: &stats})
+	e2, err := New(a, Options{Resources: Resources{Workers: 4, Workspace: 4 * need}, Steps: 2, Parallel: BFS, Stats: &stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestHighRankAlgorithm(t *testing.T) {
 // producing correct results while the arenas grow to the largest shape.
 func TestArenaReuseAcrossChangingShapes(t *testing.T) {
 	for _, mode := range []Parallel{Sequential, DFS, BFS, Hybrid} {
-		e := mustExec(t, "strassen", Options{Steps: 2, Parallel: mode, Workers: 4})
+		e := mustExec(t, "strassen", Options{Resources: Resources{Workers: 4}, Steps: 2, Parallel: mode})
 		shapes := [][3]int{{64, 64, 64}, {200, 120, 88}, {32, 32, 32}, {200, 120, 88}, {64, 64, 64}}
 		for i, s := range shapes {
 			C, A, B := randomProblem(s[0], s[1], s[2], int64(100+i))

@@ -1,0 +1,40 @@
+package costmodel
+
+// Structured-operation pricing: the adjustments the tuner applies on top of
+// the general-multiply time model when ranking candidates for the ATA/Syrk
+// and MultiplyAdd operations.
+
+// ATAFlopFactor is the asymptotic fraction of a general multiply's work the
+// symmetric recursion pays for AᵗA / A·Aᵗ. The recurrence T(n) = 2T(n/2) +
+// M(n/2) gives T = M/2 for classical M (ω = 3) and approaches 2/3·M as the
+// multiply exponent drops toward Strassen's (Arrigoni/Massini,
+// arXiv:1902.02104); 2/3 is the conservative bound for the fast algorithms
+// the tuner ranks.
+const ATAFlopFactor = 2.0 / 3.0
+
+// MoveSeconds predicts the seconds needed to stream `floats` float64 values
+// through memory at the add bandwidth available to w workers. Callers count
+// reads and writes separately (a copy of n values moves 2n).
+func (ma Machine) MoveSeconds(floats float64, w int) float64 {
+	rate := ma.AddRate(w)
+	if rate <= 0 {
+		return 0
+	}
+	return floats * 8 / (rate * 1e9)
+}
+
+// StructuredOverheadSeconds prices the extra data movement one structured
+// (ATA/Syrk) call pays beyond its multiply work: materializing the transpose
+// of the ar×ac operand (read + write) plus the mirror epilogue over the
+// cdim×cdim result (read half, write half).
+func (ma Machine) StructuredOverheadSeconds(ar, ac, cdim, w int) float64 {
+	transpose := 2 * float64(ar) * float64(ac)
+	mirror := float64(cdim) * float64(cdim)
+	return ma.MoveSeconds(transpose+mirror, w)
+}
+
+// AccumulateOverheadSeconds prices the epilogue of a MultiplyAdd: one axpy
+// sweep over the m×n result (read the product temporary, read C, write C).
+func (ma Machine) AccumulateOverheadSeconds(m, n, w int) float64 {
+	return ma.MoveSeconds(3*float64(m)*float64(n), w)
+}

@@ -1,0 +1,78 @@
+package gemm
+
+import (
+	"sync"
+
+	"fastmm/internal/mat"
+)
+
+// Structured classical kernels: AᵗA (Gram) and A·Aᵗ (SYRK) as single calls
+// over the backend registry. These are the classical-baseline counterparts
+// of the executor's symmetric recursion — they do the full general-product
+// flop count (no symmetry saving; that is the fast path's edge) but share
+// its exactness contract: when overwriting, the strict lower triangle is
+// computed once and mirrored up, so C[i][j] == C[j][i] bit-for-bit under any
+// backend. The tuner's classical plans for the ATA/Syrk ops dispatch here.
+
+// trScratch pools the transpose buffers so steady-state structured calls
+// allocate nothing beyond what the kernel itself pools.
+var trScratch = sync.Pool{New: func() any { return &[]float64{} }}
+
+// ATA computes C = alpha·Aᵗ·A (overwriting C, or accumulating when
+// accumulate is set) with the given backend and worker budget. C must be n×n
+// for A m×n and must not alias A. When overwriting, the result is exactly
+// symmetric; accumulation preserves exact symmetry iff C was exactly
+// symmetric.
+func ATA(be Backend, C *mat.Dense, alpha float64, A *mat.Dense, accumulate bool, workers int) {
+	T := transposed(A)
+	Dispatch(be, C, alpha, T, A, accumulate, workers)
+	putTransposed(T)
+	if !accumulate {
+		mirrorLower(C)
+	}
+}
+
+// Syrk computes C = alpha·A·Aᵗ (overwriting or accumulating); C must be m×m
+// for A m×n and must not alias A. Symmetry contract as for ATA.
+func Syrk(be Backend, C *mat.Dense, alpha float64, A *mat.Dense, accumulate bool, workers int) {
+	T := transposed(A)
+	Dispatch(be, C, alpha, A, T, accumulate, workers)
+	putTransposed(T)
+	if !accumulate {
+		mirrorLower(C)
+	}
+}
+
+// transposed materializes Aᵗ in a pooled buffer.
+func transposed(A *mat.Dense) *mat.Dense {
+	r, c := A.Cols(), A.Rows()
+	bufp := trScratch.Get().(*[]float64)
+	buf := *bufp
+	if cap(buf) < r*c {
+		buf = make([]float64, r*c)
+	}
+	buf = buf[:r*c]
+	*bufp = buf
+	T := mat.FromSlice(r, c, buf)
+	mat.Transpose(T, A)
+	return T
+}
+
+// putTransposed returns a transposed() buffer to the pool. The mat header
+// itself is garbage (one small allocation per call, matching the kernel's
+// own per-call overhead).
+func putTransposed(T *mat.Dense) {
+	buf := T.Data()
+	trScratch.Put(&buf)
+}
+
+// mirrorLower copies the strict lower triangle onto the strict upper one.
+func mirrorLower(C *mat.Dense) {
+	n := C.Rows()
+	for i := 1; i < n; i++ {
+		row := C.Row(i)
+		for j := 0; j < i; j++ {
+			C.Set(j, i, row[j])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmm/internal/mat"
+)
+
+func randDense(r, c int, rng *rand.Rand) *mat.Dense {
+	m := mat.New(r, c)
+	m.FillRandom(rng)
+	return m
+}
+
+// TestStructuredClassicalMatchesMul checks the classical ATA/Syrk fallbacks
+// against explicit transpose-and-Mul references, across backends, worker
+// counts, and both accumulate modes.
+func TestStructuredClassicalMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range Names() {
+		be, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 3} {
+			for _, shape := range [][2]int{{37, 29}, {64, 64}, {16, 80}} {
+				m, n := shape[0], shape[1]
+				A := randDense(m, n, rng)
+				T := mat.New(n, m)
+				mat.Transpose(T, A)
+
+				// ATA, overwrite: exact symmetry is part of the contract.
+				got := mat.New(n, n)
+				ATA(be, got, 1, A, false, w)
+				want := mat.New(n, n)
+				Mul(want, T, A)
+				if d := mat.MaxAbsDiff(got, want); d > 1e-10*float64(m+1) {
+					t.Fatalf("%s w=%d ATA %dx%d: diff %g", name, w, m, n, d)
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j < i; j++ {
+						if got.At(i, j) != got.At(j, i) {
+							t.Fatalf("%s ATA not exactly symmetric at (%d,%d)", name, i, j)
+						}
+					}
+				}
+
+				// ATA, accumulate with alpha: C += 2·AᵗA on a random C.
+				got = randDense(n, n, rng)
+				want = got.Clone()
+				ATA(be, got, 2, A, true, w)
+				prod := mat.New(n, n)
+				Mul(prod, T, A)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						want.Set(i, j, want.At(i, j)+2*prod.At(i, j))
+					}
+				}
+				if d := mat.MaxAbsDiff(got, want); d > 1e-10*float64(m+1) {
+					t.Fatalf("%s w=%d ATA accumulate: diff %g", name, w, d)
+				}
+
+				// Syrk, overwrite.
+				got = mat.New(m, m)
+				Syrk(be, got, 1, A, false, w)
+				want = mat.New(m, m)
+				Mul(want, A, T)
+				if d := mat.MaxAbsDiff(got, want); d > 1e-10*float64(n+1) {
+					t.Fatalf("%s w=%d Syrk %dx%d: diff %g", name, w, m, n, d)
+				}
+				for i := 0; i < m; i++ {
+					for j := 0; j < i; j++ {
+						if got.At(i, j) != got.At(j, i) {
+							t.Fatalf("%s Syrk not exactly symmetric at (%d,%d)", name, i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package linalg
+
+import (
+	"fmt"
+
+	"fastmm/internal/mat"
+	"fastmm/internal/op"
+	"fastmm/internal/tuner"
+)
+
+// This file holds the structured-operation consumers: the Gram matrix and
+// the least-squares normal equations formed through the tuner's
+// operation-typed request path, so AᵗA rides the symmetric-recursion planner
+// (op.ATA) instead of a hand-rolled triple loop. The loop-nest versions in
+// linalg.go remain the right tool for the tiny factor matrices of the search
+// code; these are for problem sizes where a planned AᵗA pays.
+
+// GramTuned returns AᵗA through the tuner's operation-typed path. A nil
+// tuner falls back to the loop-nest Gram, so callers can thread an optional
+// tuner without branching themselves.
+func GramTuned(tn *tuner.Tuner, a *mat.Dense) (*mat.Dense, error) {
+	if tn == nil {
+		return Gram(a), nil
+	}
+	g := mat.New(a.Cols(), a.Cols())
+	if err := tn.Do(op.Request{Op: op.ATA, C: g, A: a}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SolveNormal solves the least-squares problem min ‖a·x − b‖₂ through the
+// normal equations: G = AᵗA is formed via the tuner's structured AᵗA path,
+// the right-hand side Aᵗb via a tuned general multiply, and G·x = Aᵗb is
+// solved by Cholesky. mu ≥ 0 is added to G's diagonal (ridge regularization;
+// pass 0 for plain least squares). A nil tuner runs the loop-nest fallbacks.
+// QR (SolveLeastSquares) is the numerically safer route for ill-conditioned
+// a; the normal equations square the condition number but cost ~half the
+// flops and inherit the fast-multiply speedups for large panels.
+func SolveNormal(tn *tuner.Tuner, a, b *mat.Dense, mu float64) (*mat.Dense, error) {
+	if a.Rows() != b.Rows() {
+		return nil, fmt.Errorf("linalg: SolveNormal rhs has %d rows, want %d", b.Rows(), a.Rows())
+	}
+	g, err := GramTuned(tn, a)
+	if err != nil {
+		return nil, err
+	}
+	if mu > 0 {
+		AddDiag(g, mu)
+	}
+	at := mat.New(a.Cols(), a.Rows())
+	mat.Transpose(at, a)
+	var rhs *mat.Dense
+	if tn == nil {
+		rhs = MatMul(at, b)
+	} else {
+		rhs = mat.New(a.Cols(), b.Cols())
+		if err := tn.Do(op.Request{Op: op.Multiply, C: rhs, A: at, B: b}); err != nil {
+			return nil, err
+		}
+	}
+	return SolveSPD(g, rhs)
+}

@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmm/internal/mat"
+	"fastmm/internal/tuner"
+)
+
+// normalTestTuner builds a model-only tuner (synthetic profile, no probes,
+// no disk cache) so the consumers exercise the operation-typed path without
+// measuring the machine.
+func normalTestTuner(t *testing.T) *tuner.Tuner {
+	t.Helper()
+	prof := tuner.Calibrate(1, true)
+	tn, err := tuner.New(tuner.Options{
+		Resources:   tuner.Resources{Workers: 1},
+		Profile:     prof,
+		ProbeTopK:   tuner.NoProbes,
+		NoDiskCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+// TestGramTunedMatchesLoopNest checks the tuner-backed Gram against the
+// loop-nest reference, nil-tuner fallback included.
+func TestGramTunedMatchesLoopNest(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := mat.New(120, 40)
+	a.FillRandom(rng)
+	want := Gram(a)
+
+	got, err := GramTuned(normalTestTuner(t), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("GramTuned: diff %g", d)
+	}
+	for i := 0; i < got.Rows(); i++ {
+		for j := 0; j < i; j++ {
+			if got.At(i, j) != got.At(j, i) {
+				t.Fatalf("GramTuned not exactly symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	fallback, err := GramTuned(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(fallback, want); d != 0 {
+		t.Fatalf("nil-tuner GramTuned must be the loop nest exactly, diff %g", d)
+	}
+}
+
+// TestSolveNormalRecoversSolution plants a known x, forms b = a·x, and
+// checks the normal-equations solve recovers it — through the tuner path and
+// the nil-tuner fallback — and that QR agrees.
+func TestSolveNormalRecoversSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, n, nrhs := 150, 30, 3
+	a := mat.New(m, n)
+	a.FillRandom(rng)
+	xTrue := mat.New(n, nrhs)
+	xTrue.FillRandom(rng)
+	b := MatMul(a, xTrue)
+
+	for _, tn := range []*tuner.Tuner{nil, normalTestTuner(t)} {
+		x, err := SolveNormal(tn, a, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := mat.MaxAbsDiff(x, xTrue); d > 1e-8 {
+			t.Fatalf("tuner=%v: solution off by %g", tn != nil, d)
+		}
+	}
+
+	qr, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveNormal(normalTestTuner(t), a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(x, qr); d > 1e-8 {
+		t.Fatalf("normal equations disagree with QR by %g", d)
+	}
+
+	// Ridge regularization shrinks the solution but must still solve.
+	xr, err := SolveNormal(nil, a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.MaxAbsDiff(xr, xTrue) <= 1e-8 {
+		t.Fatal("mu=10 must perturb the solution")
+	}
+
+	// Shape mismatch fails loudly.
+	if _, err := SolveNormal(nil, a, mat.New(m+1, nrhs), 0); err == nil {
+		t.Fatal("rhs row mismatch must fail")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"fastmm/internal/costmodel"
 	"fastmm/internal/gemm"
+	"fastmm/internal/op"
 )
 
 // backendProfile fabricates a calibration where the "simd" backend is 4x the
@@ -39,11 +40,10 @@ func backendProfile(workers int) *Profile {
 // curve the winner must be a simd plan.
 func TestRankEnumeratesBackendDimension(t *testing.T) {
 	tn, err := New(Options{
-		Workers:     1,
+		Resources:   Resources{Workers: 1, Backends: []string{"portable", "simd"}},
 		Profile:     backendProfile(1),
 		ProbeTopK:   NoProbes,
 		NoDiskCache: true,
-		Backends:    []string{"portable", "simd"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestRankEnumeratesBackendDimension(t *testing.T) {
 	if plan.Backend != "simd" {
 		t.Fatalf("PlanFor picked %v, want a simd plan", plan)
 	}
-	d, err := tn.build(plan)
+	d, err := tn.build(op.Multiply, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +102,9 @@ func TestRankEnumeratesBackendDimension(t *testing.T) {
 func TestBackendRestrictionChangesKey(t *testing.T) {
 	mk := func(backends []string) *Tuner {
 		tn, err := New(Options{
-			Workers: 1, Profile: backendProfile(1), ProbeTopK: NoProbes,
-			NoDiskCache: true, Backends: backends,
+			Resources: Resources{Workers: 1, Backends: backends},
+			Profile:   backendProfile(1), ProbeTopK: NoProbes,
+			NoDiskCache: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -112,11 +113,11 @@ func TestBackendRestrictionChangesKey(t *testing.T) {
 	}
 	all := mk(nil)
 	portable := mk([]string{"portable"})
-	if all.key(64, 64, 64) == portable.key(64, 64, 64) {
+	if all.key(op.Multiply, 64, 64, 64) == portable.key(op.Multiply, 64, 64, 64) {
 		t.Fatal("backend restriction must enter the cache key")
 	}
 
-	if _, err := New(Options{Backends: []string{"no-such-backend"},
+	if _, err := New(Options{Resources: Resources{Backends: []string{"no-such-backend"}},
 		Profile: backendProfile(1), NoDiskCache: true}); err == nil {
 		t.Fatal("unknown backend must fail New")
 	}

@@ -20,7 +20,10 @@ import (
 // v2: one gemm curve per leaf-kernel backend (Machine.BackendGemm) and the
 // backend as a tuning dimension — v1 caches and profiles are retired cleanly
 // because both the cache-key prefix and the profile fingerprint change.
-const ProfileVersion = 2
+// v3: operation-typed plans (the op token joins the cache key and Plan) and
+// the resource budget rendered through resources.Resources.Key — v2 caches
+// are retired cleanly for the same reason.
+const ProfileVersion = 3
 
 // Profile is a one-time machine calibration: the measured gemm throughput
 // curve and addition bandwidth that parameterize the cost model's time

@@ -27,8 +27,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +40,8 @@ import (
 	"fastmm/internal/costmodel"
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
+	"fastmm/internal/resources"
 )
 
 const (
@@ -62,20 +64,29 @@ const (
 // ClassicalAlgorithm is the Plan.Algorithm value for the gemm baseline.
 const ClassicalAlgorithm = "classical"
 
+// Resources is the shared resource budget (see internal/resources); it is
+// embedded in Options so Workers/Workspace/Backends spell the same way — and
+// hash into cache keys the same way — across every layer.
+type Resources = resources.Resources
+
 // Options configures a Tuner. The zero value is ready to use: GOMAXPROCS
 // workers, no workspace cap, quick auto-calibration on first use, top-4
 // probing, and the default disk cache location.
 type Options struct {
-	// Workers bounds the goroutines a chosen plan may use (default
-	// GOMAXPROCS).
-	Workers int
-	// Workspace, when positive, caps the workspace (bytes) a chosen plan
-	// may claim: candidates whose predicted footprint exceeds it are never
-	// selected, and the cap is threaded through to the built executor,
-	// which additionally degrades BFS/HYBRID to DFS at run time. A cap
-	// below even the classical kernel's packing slabs still selects
-	// (sequential) classical gemm — multiplication must remain possible.
-	Workspace int64
+	// Resources is the execution budget: Workers bounds the goroutines a
+	// chosen plan may use (default GOMAXPROCS); Workspace, when positive,
+	// caps the workspace bytes a chosen plan may claim — candidates whose
+	// predicted footprint exceeds it are never selected, and the cap is
+	// threaded through to the built executor, which additionally degrades
+	// BFS/HYBRID to DFS at run time (a cap below even the classical kernel's
+	// packing slabs still selects sequential classical gemm — multiplication
+	// must remain possible); Backends restricts the leaf-kernel backends
+	// enumerated as a candidate dimension (default: every registered gemm
+	// backend) — each candidate is ranked once per backend against that
+	// backend's calibrated gemm curve, and the classical baseline exists per
+	// backend too, so the tuner picks the leaf kernel the same way it picks
+	// everything else. Unknown backend names fail New.
+	Resources
 	// MinDim is the recursion cutoff (default 128): shapes with
 	// max(m,k,n) < MinDim dispatch to classical gemm without ranking.
 	MinDim int
@@ -97,13 +108,6 @@ type Options struct {
 	// whole catalog minus the classical decompositions, which the direct
 	// gemm baseline already covers).
 	Algorithms []string
-	// Backends restricts the leaf-kernel backends enumerated as a candidate
-	// dimension (default: every registered gemm backend). Each candidate
-	// (algorithm × steps × scheduler × strategy) is ranked once per backend
-	// against that backend's calibrated gemm curve, and the classical
-	// baseline exists per backend too — the tuner picks the leaf kernel the
-	// same way it picks everything else. Unknown names fail New.
-	Backends []string
 	// Strategies restricts the addition strategies considered (default
 	// write-once and streaming — §3.2's two winners).
 	Strategies []addchain.Strategy
@@ -118,9 +122,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Resources = o.Resources.NormalizedBackends()
 	if o.MinDim <= 0 {
 		o.MinDim = DefaultMinDim
 	}
@@ -143,9 +145,6 @@ func (o Options) withDefaults() Options {
 	if len(o.Strategies) == 0 {
 		o.Strategies = []addchain.Strategy{addchain.WriteOnce, addchain.Streaming}
 	}
-	if len(o.Backends) == 0 {
-		o.Backends = gemm.Names()
-	}
 	return o
 }
 
@@ -158,6 +157,9 @@ func (o Options) Normalized() Options { return o.withDefaults() }
 // Plan is one fully specified way to run a multiplication — the unit the
 // tuner ranks, probes, caches, and reports.
 type Plan struct {
+	// Op is the operation's cache-key token (op.Op.Key()); empty means the
+	// general multiply, so multiply entries stay the compact common case.
+	Op string `json:"op,omitempty"`
 	// Algorithm is a catalog name, or ClassicalAlgorithm for direct gemm.
 	Algorithm string `json:"algorithm"`
 	// Steps is the recursion depth (0 for classical).
@@ -189,14 +191,19 @@ func (p Plan) String() string {
 	if p.Backend != "" {
 		be = "/" + p.Backend
 	}
-	if p.IsClassical() {
-		return fmt.Sprintf("classical/%dw%s", p.Workers, be)
+	o := ""
+	if p.Op != "" {
+		o = p.Op + ":"
 	}
-	return fmt.Sprintf("%s/s%d/%s/%s/%dw%s", p.Algorithm, p.Steps, p.Parallel, p.Strategy, p.Workers, be)
+	if p.IsClassical() {
+		return fmt.Sprintf("%sclassical/%dw%s", o, p.Workers, be)
+	}
+	return fmt.Sprintf("%s%s/s%d/%s/%s/%dw%s", o, p.Algorithm, p.Steps, p.Parallel, p.Strategy, p.Workers, be)
 }
 
 // decision is a plan bound to its runnable executor and resolved backend.
 type decision struct {
+	op   op.Op // the plan-space op (MultiplyAdd requests ride a Multiply decision)
 	plan Plan
 	be   gemm.Backend   // the plan's leaf backend, resolved at build time
 	exec *core.Executor // nil for classical
@@ -207,17 +214,88 @@ type decision struct {
 }
 
 func (d *decision) multiply(C, A, B *mat.Dense) error {
+	return d.run(op.Request{Op: op.Multiply, C: C, A: A, B: B})
+}
+
+// run executes one request — C = Alpha·op(A,B) + Beta·C — with the decision's
+// plan. The overwrite paths (Beta == 0) are the hot, allocation-conscious
+// ones; accumulating into a symmetric result allocates one temporary.
+func (d *decision) run(r op.Request) error {
 	if d.failMul != nil {
 		return d.failMul
 	}
-	if d.exec != nil {
-		return d.exec.Multiply(C, A, B)
+	r = r.Normalized()
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("tuner: %w", err)
 	}
-	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
-		return fmt.Errorf("tuner: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
-			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
+	if d.exec == nil {
+		return d.runClassical(r)
 	}
-	gemm.Dispatch(d.be, C, 1, A, B, false, d.plan.Workers)
+	switch r.Op {
+	case op.Multiply, op.MultiplyAdd:
+		if r.Beta == 0 {
+			if err := d.exec.Multiply(r.C, r.A, r.B); err != nil {
+				return err
+			}
+			if r.Alpha != 1 {
+				mat.Scale(r.C, r.Alpha, r.C)
+			}
+			return nil
+		}
+		if r.Beta != 1 {
+			mat.Scale(r.C, r.Beta, r.C)
+		}
+		return d.exec.MultiplyAdd(r.C, r.A, r.B, r.Alpha)
+	case op.ATA, op.Syrk:
+		sym := d.exec.MultiplyATA
+		if r.Op == op.Syrk {
+			sym = d.exec.MultiplySyrk
+		}
+		if r.Beta == 0 {
+			if err := sym(r.C, r.A); err != nil {
+				return err
+			}
+			if r.Alpha != 1 {
+				mat.Scale(r.C, r.Alpha, r.C)
+			}
+			return nil
+		}
+		// Accumulating a symmetric product: compute into a fresh temporary,
+		// then one axpy. Allocates — acceptable for this rare path; exact
+		// symmetry of the update is preserved (the temporary is exactly
+		// symmetric and axpy is elementwise).
+		T := mat.New(r.C.Rows(), r.C.Cols())
+		if err := sym(T, r.A); err != nil {
+			return err
+		}
+		if r.Beta != 1 {
+			mat.Scale(r.C, r.Beta, r.C)
+		}
+		mat.Axpy(r.C, r.Alpha, T)
+		return nil
+	}
+	return fmt.Errorf("tuner: unsupported op %s", r.Op)
+}
+
+// runClassical serves a request on the direct-gemm baseline: alpha and the
+// accumulate flag pipe natively into the kernel; only a Beta outside {0, 1}
+// costs an extra pre-scale sweep.
+func (d *decision) runClassical(r op.Request) error {
+	if r.Beta != 0 && r.Beta != 1 {
+		mat.Scale(r.C, r.Beta, r.C)
+	}
+	acc := r.Beta != 0
+	w := d.plan.Workers
+	switch r.Op {
+	case op.Multiply, op.MultiplyAdd:
+		gemm.Dispatch(d.be, r.C, r.Alpha, r.A, r.B, acc, w)
+	case op.ATA:
+		gemm.ATA(d.be, r.C, r.Alpha, r.A, acc, w)
+	case op.Syrk:
+		gemm.Syrk(d.be, r.C, r.Alpha, r.A, acc, w)
+	default:
+		return fmt.Errorf("tuner: unsupported op %s", r.Op)
+	}
 	return nil
 }
 
@@ -309,20 +387,34 @@ func (t *Tuner) Calibration() *Profile { return t.prof }
 // Multiply computes C = A·B with the tuned plan for the operands' shape —
 // tuning it first if this is the shape's first touch. C must not alias A/B.
 func (t *Tuner) Multiply(C, A, B *mat.Dense) error {
-	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
-		return fmt.Errorf("tuner: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
-			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
+	return t.Do(op.Request{Op: op.Multiply, C: C, A: A, B: B})
+}
+
+// Do executes one operation-typed request — C = Alpha·op(A,B) + Beta·C —
+// with the tuned plan for its (op, shape), tuning on first touch. Tuning is
+// per plan-space op: ATA and Syrk get their own cached plans (ranked at the
+// symmetric recursion's reduced cost), while MultiplyAdd rides Multiply's.
+func (t *Tuner) Do(req op.Request) error {
+	req = req.Normalized()
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("tuner: %w", err)
 	}
-	d, err := t.decide(A.Rows(), A.Cols(), B.Cols())
+	m, k, n := req.Shape()
+	d, err := t.decide(req.Op.PlanOp(), m, k, n)
 	if err != nil {
 		return err
 	}
-	return d.multiply(C, A, B)
+	return d.run(req)
 }
 
-// PlanFor returns the tuned plan for a shape, tuning on first touch.
-func (t *Tuner) PlanFor(m, k, n int) (Plan, error) {
-	d, err := t.decide(m, k, n)
+// PlanFor returns the tuned multiply plan for a shape, tuning on first touch.
+func (t *Tuner) PlanFor(m, k, n int) (Plan, error) { return t.PlanForOp(op.Multiply, m, k, n) }
+
+// PlanForOp returns the tuned plan for an (op, shape), tuning on first
+// touch. The shape is always the gemm-equivalent product triple ⟨m,k,n⟩
+// (op.Op.Shape): ATA on an m×n operand asks for ⟨n,m,n⟩, Syrk for ⟨m,n,m⟩.
+func (t *Tuner) PlanForOp(o op.Op, m, k, n int) (Plan, error) {
+	d, err := t.decide(o.PlanOp(), m, k, n)
 	if err != nil {
 		return Plan{}, err
 	}
@@ -343,11 +435,16 @@ type Entry struct {
 	d *decision
 }
 
-// Entry returns the warm entry for a shape, tuning it on first touch. The
-// returned entry stays valid (and keeps its executor's arenas warm) even if
-// the tuner later evicts or Forgets the shape.
-func (t *Tuner) Entry(m, k, n int) (*Entry, error) {
-	d, err := t.decide(m, k, n)
+// Entry returns the warm multiply entry for a shape, tuning it on first
+// touch. The returned entry stays valid (and keeps its executor's arenas
+// warm) even if the tuner later evicts or Forgets the shape.
+func (t *Tuner) Entry(m, k, n int) (*Entry, error) { return t.EntryOp(op.Multiply, m, k, n) }
+
+// EntryOp returns the warm entry for an (op, gemm-equivalent-shape) pair;
+// see PlanForOp for the triple convention. The batched dispatcher resolves
+// one entry per (op, shape class) and runs requests through it.
+func (t *Tuner) EntryOp(o op.Op, m, k, n int) (*Entry, error) {
+	d, err := t.decide(o.PlanOp(), m, k, n)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +457,12 @@ func (e *Entry) Plan() Plan { return e.d.plan }
 // Multiply computes C = A·B with the entry's plan. Safe for concurrent use.
 func (e *Entry) Multiply(C, A, B *mat.Dense) error { return e.d.multiply(C, A, B) }
 
+// Run executes one request with the entry's plan. The request's op must
+// share the entry's plan space (op.PlanOp) and its shape must match the
+// entry's — the entry applies no dispatch, just its bound plan. Safe for
+// concurrent use.
+func (e *Entry) Run(req op.Request) error { return e.d.run(req) }
+
 // WorkspaceRetained reports the bytes currently held by the entry executor's
 // arena pool (0 for the classical baseline, whose packing slabs are pooled
 // globally by the gemm kernel).
@@ -370,29 +473,50 @@ func (e *Entry) WorkspaceRetained() int64 {
 	return e.d.exec.WorkspaceRetained()
 }
 
-// Forget drops a shape's decision from the tuner's in-memory cache, so its
-// executor (and retained arenas) can be collected once outstanding Entry
-// holders release it. The persisted plan survives: re-touching the shape
-// rebuilds the executor from the disk cache without re-probing. Byte-budget
-// eviction in the batched dispatcher is the intended caller.
-func (t *Tuner) Forget(m, k, n int) {
-	key := t.key(m, k, n)
+// Forget drops a multiply shape's decision from the tuner's in-memory
+// cache; see ForgetOp.
+func (t *Tuner) Forget(m, k, n int) { t.ForgetOp(op.Multiply, m, k, n) }
+
+// ForgetOp drops an (op, shape) decision from the tuner's in-memory cache,
+// so its executor (and retained arenas) can be collected once outstanding
+// Entry holders release it. The persisted plan survives: re-touching the
+// shape rebuilds the executor from the disk cache without re-probing.
+// Byte-budget eviction in the batched dispatcher is the intended caller.
+func (t *Tuner) ForgetOp(o op.Op, m, k, n int) {
+	key := t.key(o.PlanOp(), m, k, n)
 	t.mu.Lock()
 	t.lru.remove(key)
 	t.mu.Unlock()
 }
 
-// key identifies a tuning decision: the shape plus every option that changes
-// the answer. Only the shape varies per call; the options part is
-// precomputed once in New so the warm dispatch path formats one string.
-func (t *Tuner) key(m, k, n int) string {
-	return fmt.Sprintf("v%d/%dx%dx%d/%s", ProfileVersion, m, k, n, t.keySuffix)
+// key identifies a tuning decision: the op and shape plus every option that
+// changes the answer. Only the op and shape vary per call; the options part
+// is precomputed once in New so the warm dispatch path formats one string.
+func (t *Tuner) key(o op.Op, m, k, n int) string {
+	// Hand-rolled (not Sprintf): this runs on every warm dispatch, and the
+	// sub-microsecond lookup contract leaves no room for verb parsing.
+	b := make([]byte, 0, 48+len(t.keySuffix))
+	b = append(b, 'v')
+	b = strconv.AppendInt(b, ProfileVersion, 10)
+	b = append(b, '/')
+	b = append(b, o.Key()...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(m), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(k), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '/')
+	b = append(b, t.keySuffix...)
+	return string(b)
 }
 
 // makeKeySuffix encodes every option that changes a tuning answer. The
-// candidate set (algorithms × strategies) enters as a hash so differently
-// restricted tuners never share entries; ProfileVersion (in key) retires
-// cached plans when the model changes.
+// resource budget renders through resources.Resources.Key — the same
+// fragment fastmm's shared-dispatcher and shared-batcher maps embed — and
+// the candidate set (algorithms × strategies) enters as a hash so
+// differently restricted tuners never share entries; ProfileVersion (in
+// key) retires cached plans when the model changes.
 func (t *Tuner) makeKeySuffix() string {
 	h := fnv.New64a()
 	for _, name := range t.opts.Algorithms {
@@ -402,24 +526,20 @@ func (t *Tuner) makeKeySuffix() string {
 	for _, s := range t.opts.Strategies {
 		fmt.Fprintf(h, "%d,", int(s))
 	}
-	for _, name := range t.opts.Backends {
-		h.Write([]byte("be:" + name))
-		h.Write([]byte{0})
-	}
 	// ProbeBudget enters only when set, so default-policy tuners keep the
 	// cache keys (and persisted entries) of earlier versions.
 	budget := ""
 	if t.opts.ProbeBudget > 0 {
 		budget = fmt.Sprintf("/pb%d", t.opts.ProbeBudget)
 	}
-	return fmt.Sprintf("w%d/cap%d/min%d/s%d/k%d/t%d/cse%t/c%016x/p%s%s",
-		t.opts.Workers, t.opts.Workspace,
+	return fmt.Sprintf("%s/min%d/s%d/k%d/t%d/cse%t/c%016x/p%s%s",
+		t.opts.Resources.Key(),
 		t.opts.MinDim, t.opts.MaxSteps, t.opts.ProbeTopK, t.opts.ProbeTrials,
 		t.opts.CSE, h.Sum64(), t.prof.Fingerprint(), budget)
 }
 
-func (t *Tuner) decide(m, k, n int) (*decision, error) {
-	key := t.key(m, k, n)
+func (t *Tuner) decide(o op.Op, m, k, n int) (*decision, error) {
+	key := t.key(o, m, k, n)
 	t.mu.Lock()
 	if d, ok := t.lru.get(key); ok {
 		t.mu.Unlock()
@@ -429,7 +549,7 @@ func (t *Tuner) decide(m, k, n int) (*decision, error) {
 	t.mu.Unlock()
 
 	if onDisk {
-		if d, err := t.build(cached); err == nil {
+		if d, err := t.build(o, cached); err == nil {
 			t.remember(key, d, false)
 			return d, nil
 		}
@@ -437,11 +557,11 @@ func (t *Tuner) decide(m, k, n int) (*decision, error) {
 		// catalog) falls through to a fresh ranking.
 	}
 
-	ranked, err := t.Rank(m, k, n)
+	ranked, err := t.RankOp(o, m, k, n)
 	if err != nil {
 		return nil, err
 	}
-	d, err := t.pick(ranked, m, k, n)
+	d, err := t.pick(o, ranked, m, k, n)
 	if err != nil {
 		return nil, err
 	}
@@ -483,12 +603,19 @@ func (t *Tuner) remember(key string, d *decision, persist bool) {
 	_ = saveEntries(merged)
 }
 
-// Rank enumerates the candidate plans for a shape — every leaf backend ×
-// (classical baseline + algorithm × steps × scheduler × strategy) — and
-// sorts them by predicted time (fastest first), workspace-cap survivors
-// only. A classical baseline is always present, so the result is never
-// empty.
-func (t *Tuner) Rank(m, k, n int) ([]Plan, error) {
+// Rank enumerates the candidate multiply plans for a shape; see RankOp.
+func (t *Tuner) Rank(m, k, n int) ([]Plan, error) { return t.RankOp(op.Multiply, m, k, n) }
+
+// RankOp enumerates the candidate plans for an (op, shape) — every leaf
+// backend × (classical baseline + algorithm × steps × scheduler × strategy)
+// — and sorts them by predicted time (fastest first), workspace-cap
+// survivors only. The shape is the gemm-equivalent product triple; for the
+// symmetric ops the general-multiply estimate is adjusted to the symmetric
+// recursion's cost (×2/3 flops for fast plans, nothing saved for classical)
+// plus the transpose + mirror data movement both pay. A classical baseline
+// is always present, so the result is never empty.
+func (t *Tuner) RankOp(o op.Op, m, k, n int) ([]Plan, error) {
+	o = o.PlanOp()
 	if m <= 0 || k <= 0 || n <= 0 {
 		return nil, fmt.Errorf("tuner: invalid shape %d×%d×%d", m, k, n)
 	}
@@ -512,7 +639,20 @@ func (t *Tuner) Rank(m, k, n int) ([]Plan, error) {
 			if err != nil {
 				continue // unknown or unverifiable entries never panic the tuner
 			}
-			plans = append(plans, t.algorithmPlans(a, m, k, n, ma, be)...)
+			plans = append(plans, t.algorithmPlans(o, a, m, k, n, ma, be)...)
+		}
+	}
+
+	if o.Symmetric() {
+		// Fast plans were priced level-by-level inside algorithmPlans (the
+		// symmetric recursion runs the candidate at halved shapes, where fast
+		// rankings differ from the full-size one). The classical baseline
+		// computes the full product (gemm.ATA/Syrk) — no flop saving. Every
+		// plan pays the materialized transpose and mirror epilogue.
+		overhead := ma.StructuredOverheadSeconds(m, k, m, t.opts.Workers)
+		for i := range plans {
+			plans[i].Op = o.Key()
+			plans[i].PredictedSeconds += overhead
 		}
 	}
 
@@ -547,6 +687,58 @@ func (t *Tuner) classicalPlan(m, k, n int, be gemm.Backend) Plan {
 	}
 }
 
+// symPredictSeconds prices one fast candidate for the symmetric recursion
+// T(p) = 2T(p/2) + M(p/2): walk the recursion tree the core executor will
+// actually run (split while the block stays ≥ 2·MinDim), price every
+// off-diagonal multiply with the candidate's own time model AT ITS OWN
+// (halved) shape, and price the diagonal leaf blocks as the leaf backend's
+// classical gemm. A flat ×2/3 of the full-size estimate — the obvious
+// shortcut — preserves the general-multiply ranking, but fast algorithms
+// keep different fractions of their advantage as the shape halves (fewer
+// recursion steps fit, peeling fractions grow), so the shortcut mispicks;
+// probing only the top few of a mis-ranked list never sees the real winner.
+// The recursion depth per sub-multiply is clamped to what the executor's
+// MinDim cutoff will actually take at that shape; 0 steps means the
+// sub-multiply runs classical.
+func (t *Tuner) symPredictSeconds(a *algo.Algorithm, model *costmodel.Model, ma costmodel.Machine, ex costmodel.ExecShape, backend string, maxSteps, p, q, w int) float64 {
+	b := a.Base
+	minDim := t.opts.MinDim
+	total := 0.0
+	cnt := 1.0
+	s := p
+	for s >= 2*minDim && s >= 2 {
+		h := s / 2
+		mm, kk, nn := s-h, q, h
+		st := maxSteps
+		for st > 0 {
+			dM, dK, dN := ipow(b.M, st), ipow(b.K, st), ipow(b.N, st)
+			if dM > 0 && dK > 0 && dN > 0 && mm/dM >= minDim && kk/dK >= minDim && nn/dN >= minDim {
+				break
+			}
+			st--
+		}
+		sub := ma.ClassicalTimeFor(backend, mm, kk, nn, w)
+		if st > 0 {
+			dM, dK, dN := ipow(b.M, st), ipow(b.K, st), ipow(b.N, st)
+			cm, ck, cn := mm-mm%dM, kk-kk%dK, nn-nn%dN
+			fix := sub - ma.ClassicalTimeFor(backend, cm, ck, cn, w)
+			if fix < 0 {
+				fix = 0
+			}
+			if est, err := model.PredictTime(cm, ck, cn, st, ma, ex); err == nil {
+				sub = est.Seconds + fix
+			}
+		}
+		total += cnt * sub
+		cnt *= 2
+		s = s - h // the larger child; odd splits round the estimate up
+	}
+	// Diagonal leaves: cnt blocks, each one classical gemm + its mirror
+	// (the mirror traffic rides StructuredOverheadSeconds' result sweep).
+	total += cnt * ma.ClassicalTimeFor(backend, s, q, s, w)
+	return total
+}
+
 // schedCand pairs a scheduler with the worker deployment the time model
 // sees: DFS parallelizes leaves, BFS fans out tasks, HYBRID fans out with
 // its balanced two-phase split (§4).
@@ -573,15 +765,36 @@ func (t *Tuner) schedules() []schedCand {
 // way the executor does — the recursion runs on the largest divisible core
 // and the model charges the peeling borders as classical gemm work (on the
 // same backend) on top.
-func (t *Tuner) algorithmPlans(a *algo.Algorithm, m, k, n int, ma costmodel.Machine, be gemm.Backend) []Plan {
+func (t *Tuner) algorithmPlans(o op.Op, a *algo.Algorithm, m, k, n int, ma costmodel.Machine, be gemm.Backend) []Plan {
 	var out []Plan
 	b := a.Base
 	workers := t.opts.Workers
 	backend := be.Name()
+	if o.Symmetric() {
+		// A candidate that cannot take even one fast step on the largest
+		// off-diagonal multiply (⌈p/2⌉ × q × ⌊p/2⌋) degenerates to a
+		// classical symmetric walk — the classical baseline already covers
+		// that behavior, and a flood of identically-priced degenerates would
+		// crowd the real fast walks out of the probe pool.
+		h := m / 2
+		if (m-h)/b.M < t.opts.MinDim || k/b.K < t.opts.MinDim || h/b.N < t.opts.MinDim {
+			return nil
+		}
+	}
 	for steps := 1; steps <= t.opts.MaxSteps; steps++ {
 		dM, dK, dN := ipow(b.M, steps), ipow(b.K, steps), ipow(b.N, steps)
 		if m < dM || k < dK || n < dN {
 			break // deeper recursion no longer fits one base-case block
+		}
+		if o.Symmetric() && steps > 1 {
+			// The MinDim cutoff clamps the recursion depth of every
+			// sub-multiply; once the largest one clamps below `steps` this
+			// plan executes identically to the shallower one already
+			// emitted, and duplicates would crowd the probe pool.
+			h := m / 2
+			if (m-h)/ipow(b.M, steps) < t.opts.MinDim || k/ipow(b.K, steps) < t.opts.MinDim || h/ipow(b.N, steps) < t.opts.MinDim {
+				break
+			}
 		}
 		cm, ck, cn := m-m%dM, k-k%dK, n-n%dN
 		fixup := ma.ClassicalTimeFor(backend, m, k, n, workers) - ma.ClassicalTimeFor(backend, cm, ck, cn, workers)
@@ -600,6 +813,10 @@ func (t *Tuner) algorithmPlans(a *algo.Algorithm, m, k, n int, ma costmodel.Mach
 				est, err := model.PredictTime(cm, ck, cn, steps, ma, ex)
 				if err != nil {
 					continue
+				}
+				if o.Symmetric() {
+					est.Seconds = t.symPredictSeconds(a, model, ma, ex, backend, steps, m, k, planWorkers(sc.par, workers))
+					fixup = 0 // peeling priced per level inside the walk
 				}
 				ws := modelWorkspaceBytes(cost, sc.par, workers, be)
 				if cap := t.opts.Workspace; cap > 0 && ws > cap {
@@ -695,19 +912,20 @@ func parseStrategy(s string) (addchain.Strategy, error) {
 	return 0, fmt.Errorf("tuner: unknown strategy %q", s)
 }
 
-// build turns a plan into a runnable decision. Fast plans get a trusted
-// executor (the catalog verified the algorithm once already); the workspace
-// cap is threaded through so the executor's run-time degradation also holds.
-// The plan's backend resolves here — an unknown name (edited cache file, a
-// blas plan loaded into a non-blas build) fails and falls through to a fresh
-// ranking, like an unknown algorithm.
-func (t *Tuner) build(p Plan) (*decision, error) {
+// build turns a plan into a runnable decision for one plan-space op. Fast
+// plans get a trusted executor (the catalog verified the algorithm once
+// already); the workspace cap is threaded through so the executor's run-time
+// degradation also holds. The plan's backend resolves here — an unknown name
+// (edited cache file, a blas plan loaded into a non-blas build) fails and
+// falls through to a fresh ranking, like an unknown algorithm.
+func (t *Tuner) build(o op.Op, p Plan) (*decision, error) {
+	o = o.PlanOp()
 	be, err := gemm.Resolve(p.Backend)
 	if err != nil {
 		return nil, err
 	}
 	if p.IsClassical() {
-		return &decision{plan: p, be: be}, nil
+		return &decision{op: o, plan: p, be: be}, nil
 	}
 	a, err := catalog.GetVerified(p.Algorithm)
 	if err != nil {
@@ -722,55 +940,83 @@ func (t *Tuner) build(p Plan) (*decision, error) {
 		return nil, err
 	}
 	exec, err := core.NewTrusted(a, core.Options{
+		Resources: core.Resources{Workers: p.Workers, Workspace: t.opts.Workspace},
 		Steps:     p.Steps,
 		MinDim:    t.opts.MinDim,
 		Strategy:  strat,
 		CSE:       p.CSE,
 		Parallel:  par,
-		Workers:   p.Workers,
 		Backend:   p.Backend,
-		Workspace: t.opts.Workspace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &decision{plan: p, be: be, exec: exec}, nil
+	return &decision{op: o, plan: p, be: be, exec: exec}, nil
+}
+
+// execWorkspace is the executor's exact footprint prediction for one (op,
+// gemm-equivalent shape): the Table-3 model for multiplies, its structured
+// counterpart for the symmetric recursion (triple convention of PlanForOp:
+// the ATA operand is k×m, the Syrk operand m×k).
+func execWorkspace(exec *core.Executor, o op.Op, m, k, n int) int64 {
+	switch o {
+	case op.ATA:
+		return exec.WorkspaceBytesATA(k, m)
+	case op.Syrk:
+		return exec.WorkspaceBytesSyrk(m, k)
+	default:
+		return exec.WorkspaceBytes(m, k, n)
+	}
 }
 
 // pick builds the winner from a ranked candidate list: the first candidate
 // whose built executor honors the workspace cap wins the model round, then
 // the configured number of probes decides among the leaders empirically.
-func (t *Tuner) pick(ranked []Plan, m, k, n int) (*decision, error) {
+func (t *Tuner) pick(o op.Op, ranked []Plan, m, k, n int) (*decision, error) {
+	o = o.PlanOp()
+	topK := t.opts.ProbeTopK
+	if o.Symmetric() && topK != NoProbes && topK < 2*DefaultProbeTopK {
+		// The symmetric walk is priced by the general-multiply model at
+		// halved shapes, where its discrimination is weakest — the ranked
+		// leaders sit within a few percent of each other while their
+		// measured walks differ by 2× (probes are cached per (op, shape),
+		// so the deeper pool is a one-time cost).
+		topK = 2 * DefaultProbeTopK
+	}
 	survivors := make([]*decision, 0, len(ranked))
 	for _, p := range ranked {
-		d, err := t.build(p)
+		d, err := t.build(o, p)
 		if err != nil {
 			continue
 		}
 		if cap := t.opts.Workspace; cap > 0 && d.exec != nil {
 			// Re-check with the executor's exact Table-3 model (the
 			// ranking filtered on the cheaper analytic recurrence).
-			ws := d.exec.WorkspaceBytes(m, k, n)
+			ws := execWorkspace(d.exec, o, m, k, n)
 			if ws > cap {
 				continue
 			}
 			d.plan.WorkspaceBytes = ws
 		} else if d.exec != nil {
-			d.plan.WorkspaceBytes = d.exec.WorkspaceBytes(m, k, n)
+			d.plan.WorkspaceBytes = execWorkspace(d.exec, o, m, k, n)
 		}
 		survivors = append(survivors, d)
-		if t.opts.ProbeTopK == NoProbes || len(survivors) >= t.opts.ProbeTopK {
+		if topK == NoProbes || len(survivors) >= topK {
 			break
 		}
 	}
 	if len(survivors) == 0 {
 		// Nothing fits the cap: classical on the default backend always runs.
-		return t.build(t.classicalPlan(m, k, n, gemm.Default()))
+		p := t.classicalPlan(m, k, n, gemm.Default())
+		if o.Symmetric() {
+			p.Op = o.Key()
+		}
+		return t.build(o, p)
 	}
-	if t.opts.ProbeTopK == NoProbes || len(survivors) == 1 {
+	if topK == NoProbes || len(survivors) == 1 {
 		return survivors[0], nil
 	}
-	return t.probe(survivors, m, k, n)
+	return t.probe(o, survivors, m, k, n)
 }
 
 // probe times each surviving decision on deterministic random operands of
@@ -786,15 +1032,25 @@ func (t *Tuner) pick(ranked []Plan, m, k, n int) (*decision, error) {
 // called this unreachable and panicked the process). The winner comes from
 // the remaining survivors; only when every survivor failed does the first
 // error surface to the caller.
-func (t *Tuner) probe(survivors []*decision, m, k, n int) (*decision, error) {
+func (t *Tuner) probe(o op.Op, survivors []*decision, m, k, n int) (*decision, error) {
 	var deadline time.Time
 	if t.opts.ProbeBudget > 0 {
 		deadline = time.Now().Add(t.opts.ProbeBudget)
 	}
-	rng := rand.New(rand.NewSource(int64(m)*1_000_003 + int64(k)*1_009 + int64(n)))
-	A, B, C := mat.New(m, k), mat.New(k, n), mat.New(m, n)
-	A.FillRandom(rng)
-	B.FillRandom(rng)
+	rng := rand.New(rand.NewSource(int64(m)*1_000_003 + int64(k)*1_009 + int64(n) + int64(o)*7919))
+	// Operands follow the op's triple convention: the general multiply probes
+	// m×k · k×n; ATA probes a k×m operand (C = AᵗA is m×m), Syrk an m×k one.
+	req := op.Request{Op: o, C: mat.New(m, n)}
+	switch o {
+	case op.ATA:
+		req.A = mat.New(k, m)
+	case op.Syrk:
+		req.A = mat.New(m, k)
+	default:
+		req.A, req.B = mat.New(m, k), mat.New(k, n)
+		req.B.FillRandom(rng)
+	}
+	req.A.FillRandom(rng)
 
 	var best *decision
 	var firstErr error
@@ -806,7 +1062,7 @@ func (t *Tuner) probe(survivors []*decision, m, k, n int) (*decision, error) {
 		d := d
 		var probeErr error
 		secs := bestTime(t.opts.ProbeTrials, func() {
-			if err := d.multiply(C, A, B); err != nil && probeErr == nil {
+			if err := d.run(req); err != nil && probeErr == nil {
 				probeErr = err
 			}
 		})

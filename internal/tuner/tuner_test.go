@@ -16,6 +16,7 @@ import (
 	"fastmm/internal/costmodel"
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
+	"fastmm/internal/op"
 )
 
 // testProfile is a synthetic calibration with the Fig.-3 shape (ramp-up then
@@ -46,7 +47,7 @@ func testProfile(workers int) *Profile {
 
 func modelOnlyOpts(workers int) Options {
 	return Options{
-		Workers:     workers,
+		Resources:   Resources{Workers: workers},
 		Profile:     testProfile(workers),
 		ProbeTopK:   NoProbes,
 		NoDiskCache: true,
@@ -165,7 +166,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	t.Setenv(EnvCacheDir, dir)
 
-	opts := Options{Workers: 1, Profile: testProfile(1), ProbeTopK: NoProbes}
+	opts := Options{Resources: Resources{Workers: 1}, Profile: testProfile(1), ProbeTopK: NoProbes}
 	first := mustTuner(t, opts)
 	want, err := first.Warm(512, 512, 512)
 	if err != nil {
@@ -200,7 +201,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 
 	// A cache entry referencing an unknown algorithm is skipped, not fatal.
-	stale := map[string]Plan{first.key(512, 512, 512): {
+	stale := map[string]Plan{first.key(op.Multiply, 512, 512, 512): {
 		Algorithm: "no-such-algorithm", Parallel: "dfs", Strategy: "write-once", Workers: 1,
 	}}
 	if err := saveEntries(stale); err != nil {
@@ -246,7 +247,7 @@ func TestProfilePersistence(t *testing.T) {
 // Tuned multiplications must agree with the naive oracle, peeling included.
 func TestMultiplyMatchesClassical(t *testing.T) {
 	opts := Options{
-		Workers:     2,
+		Resources:   Resources{Workers: 2},
 		Profile:     testProfile(2),
 		ProbeTopK:   2, // exercise the probing path on small shapes
 		MinDim:      64,
@@ -384,7 +385,7 @@ func TestCalibrateQuick(t *testing.T) {
 // length).
 func TestCacheKeySeparatesCandidateSets(t *testing.T) {
 	t.Setenv(EnvCacheDir, t.TempDir())
-	base := Options{Workers: 1, Profile: testProfile(1), ProbeTopK: NoProbes}
+	base := Options{Resources: Resources{Workers: 1}, Profile: testProfile(1), ProbeTopK: NoProbes}
 
 	strassenOnly := base
 	strassenOnly.Algorithms = []string{"strassen"}
@@ -433,7 +434,7 @@ func TestEmptyEnvFallsBackToDefault(t *testing.T) {
 // the first bullet of the roadmap's "richer probe policy".
 func TestProbeBudget(t *testing.T) {
 	starved := mustTuner(t, Options{
-		Workers:     1,
+		Resources:   Resources{Workers: 1},
 		Profile:     testProfile(1),
 		ProbeBudget: time.Nanosecond, // spent before the first probe starts
 		NoDiskCache: true,
@@ -454,7 +455,7 @@ func TestProbeBudget(t *testing.T) {
 	}
 
 	generous := mustTuner(t, Options{
-		Workers:     1,
+		Resources:   Resources{Workers: 1},
 		Profile:     testProfile(1),
 		ProbeBudget: time.Hour,
 		NoDiskCache: true,
@@ -469,11 +470,11 @@ func TestProbeBudget(t *testing.T) {
 
 	// The budget is part of the tuning identity: differently budgeted tuners
 	// must not share cache entries.
-	if starved.key(192, 192, 192) == generous.key(192, 192, 192) {
+	if starved.key(op.Multiply, 192, 192, 192) == generous.key(op.Multiply, 192, 192, 192) {
 		t.Fatal("ProbeBudget must enter the cache key")
 	}
 	unbudgeted := mustTuner(t, modelOnlyOpts(1))
-	if strings.Contains(unbudgeted.key(192, 192, 192), "/pb") {
+	if strings.Contains(unbudgeted.key(op.Multiply, 192, 192, 192), "/pb") {
 		t.Fatal("zero ProbeBudget must keep the legacy cache key")
 	}
 }
@@ -502,7 +503,7 @@ func TestEntryAndForget(t *testing.T) {
 	}
 
 	tn.Forget(192, 192, 192)
-	if _, ok := tn.lru.get(tn.key(192, 192, 192)); ok {
+	if _, ok := tn.lru.get(tn.key(op.Multiply, 192, 192, 192)); ok {
 		t.Fatal("Forget must drop the in-memory entry")
 	}
 	// The entry handle outlives the eviction, and re-touching re-tunes.
@@ -523,9 +524,9 @@ func TestEntryAndForget(t *testing.T) {
 // misbehaves on this machine) must be skipped — recorded, never a process
 // panic — and the winner must come from the remaining survivors.
 func TestProbeSkipsFailingSurvivor(t *testing.T) {
-	tn := mustTuner(t, Options{Workers: 1, Profile: testProfile(1), NoDiskCache: true})
+	tn := mustTuner(t, Options{Resources: Resources{Workers: 1}, Profile: testProfile(1), NoDiskCache: true})
 	mkDecision := func() *decision {
-		d, err := tn.build(tn.classicalPlan(64, 64, 64, gemm.Default()))
+		d, err := tn.build(op.Multiply, tn.classicalPlan(64, 64, 64, gemm.Default()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -537,7 +538,7 @@ func TestProbeSkipsFailingSurvivor(t *testing.T) {
 
 	// The failing candidate ranks first; on the old code its probe panicked
 	// the process ("unreachable").
-	got, err := tn.probe([]*decision{bad, good}, 64, 64, 64)
+	got, err := tn.probe(op.Multiply, []*decision{bad, good}, 64, 64, 64)
 	if err != nil {
 		t.Fatalf("probe with one failing survivor must fall back, got error %v", err)
 	}
@@ -552,7 +553,7 @@ func TestProbeSkipsFailingSurvivor(t *testing.T) {
 	// arbitrary broken winner.
 	bad2 := mkDecision()
 	bad2.failMul = errors.New("also broken")
-	if _, err := tn.probe([]*decision{bad, bad2}, 64, 64, 64); err == nil {
+	if _, err := tn.probe(op.Multiply, []*decision{bad, bad2}, 64, 64, 64); err == nil {
 		t.Fatal("all-failing survivors must surface an error")
 	} else if !strings.Contains(err.Error(), "backend exploded") {
 		t.Fatalf("the recorded error must name the first failure, got %v", err)
@@ -569,8 +570,8 @@ func TestRememberMergesOnSave(t *testing.T) {
 
 	// Build both tuners before any decision is made, so neither starts out
 	// having loaded the other's entries (the interleaving the bug needs).
-	optsA := Options{Workers: 1, Profile: testProfile(1), ProbeTopK: NoProbes}
-	optsB := Options{Workers: 1, Profile: testProfile(1), ProbeTopK: NoProbes, MaxSteps: 2}
+	optsA := Options{Resources: Resources{Workers: 1}, Profile: testProfile(1), ProbeTopK: NoProbes}
+	optsB := Options{Resources: Resources{Workers: 1}, Profile: testProfile(1), ProbeTopK: NoProbes, MaxSteps: 2}
 	ta := mustTuner(t, optsA)
 	tb := mustTuner(t, optsB)
 	if ta.keySuffix == tb.keySuffix {
@@ -587,7 +588,7 @@ func TestRememberMergesOnSave(t *testing.T) {
 		if _, err := tn.PlanFor(s[0], s[1], s[2]); err != nil {
 			t.Fatal(err)
 		}
-		wantKeys = append(wantKeys, tn.key(s[0], s[1], s[2]))
+		wantKeys = append(wantKeys, tn.key(op.Multiply, s[0], s[1], s[2]))
 	}
 
 	persisted := Entries()
@@ -624,7 +625,7 @@ func TestRememberMergesOnSave(t *testing.T) {
 		if j%2 == 1 {
 			tn = tb
 		}
-		if _, ok := persisted[tn.key(s[0], s[1], s[2])]; !ok {
+		if _, ok := persisted[tn.key(op.Multiply, s[0], s[1], s[2])]; !ok {
 			t.Errorf("concurrent writers lost persisted entry for %v", s)
 		}
 	}
@@ -642,7 +643,7 @@ func TestRememberMergesOnSave(t *testing.T) {
 		t.Fatal(err)
 	}
 	persisted = Entries()
-	if _, ok := persisted[tc.key(896, 896, 896)]; !ok {
+	if _, ok := persisted[tc.key(op.Multiply, 896, 896, 896)]; !ok {
 		t.Error("fresh decision after a clear was not persisted")
 	}
 	if len(persisted) != 1 {

@@ -15,7 +15,7 @@ import (
 // DFS Multiply does at most a handful of allocations per call.
 func TestExecutorReuseAllocsDFS(t *testing.T) {
 	exec, err := fastmm.NewExecutor("strassen", fastmm.Options{
-		Steps: 2, Parallel: fastmm.DFS, Workers: 1,
+		Steps: 2, Parallel: fastmm.DFS, Resources: fastmm.Resources{Workers: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -39,11 +39,11 @@ func TestExecutorReuseAllocsDFS(t *testing.T) {
 // TestWorkspaceAccountingPublic sanity-checks the Table-3-style estimate
 // through the public aliases.
 func TestWorkspaceAccountingPublic(t *testing.T) {
-	dfs, err := fastmm.NewExecutor("strassen", fastmm.Options{Steps: 2, Parallel: fastmm.DFS, Workers: 4})
+	dfs, err := fastmm.NewExecutor("strassen", fastmm.Options{Resources: fastmm.Resources{Workers: 4}, Steps: 2, Parallel: fastmm.DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bfs, err := fastmm.NewExecutor("strassen", fastmm.Options{Steps: 2, Parallel: fastmm.BFS, Workers: 4})
+	bfs, err := fastmm.NewExecutor("strassen", fastmm.Options{Resources: fastmm.Resources{Workers: 4}, Steps: 2, Parallel: fastmm.BFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func BenchmarkExecutorReuse(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			exec, err := fastmm.NewExecutor("strassen", fastmm.Options{
-				Steps: 2, Parallel: bc.mode, Workers: bc.w,
+				Steps: 2, Parallel: bc.mode, Resources: fastmm.Resources{Workers: bc.w},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -102,7 +102,7 @@ func BenchmarkMultiplyNoReuse(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := fastmm.Multiply(C, A, B, "strassen", fastmm.Options{Steps: 2, Parallel: fastmm.DFS, Workers: 4}); err != nil {
+		if err := fastmm.Multiply(C, A, B, "strassen", fastmm.Options{Resources: fastmm.Resources{Workers: 4}, Steps: 2, Parallel: fastmm.DFS}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,8 +110,8 @@ func BenchmarkMultiplyNoReuse(b *testing.B) {
 
 // ExampleExecutor_WorkspaceBytes documents the memory/parallelism dial.
 func ExampleExecutor_WorkspaceBytes() {
-	dfs, _ := fastmm.NewExecutor("strassen", fastmm.Options{Steps: 2, Parallel: fastmm.DFS, Workers: 4})
-	bfs, _ := fastmm.NewExecutor("strassen", fastmm.Options{Steps: 2, Parallel: fastmm.BFS, Workers: 4})
+	dfs, _ := fastmm.NewExecutor("strassen", fastmm.Options{Resources: fastmm.Resources{Workers: 4}, Steps: 2, Parallel: fastmm.DFS})
+	bfs, _ := fastmm.NewExecutor("strassen", fastmm.Options{Resources: fastmm.Resources{Workers: 4}, Steps: 2, Parallel: fastmm.BFS})
 	fmt.Println(bfs.WorkspaceBytes(1024, 1024, 1024) > dfs.WorkspaceBytes(1024, 1024, 1024))
 	// Output: true
 }
