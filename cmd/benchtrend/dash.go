@@ -1,0 +1,462 @@
+// Dashboard mode: -dash renders the JSONL metric history as one static,
+// self-contained HTML page — no external scripts, fonts, or fetches — so CI
+// can publish it as an artifact next to bench_history.jsonl and anyone can
+// open the file to see the trend the gate sees. Each metric gets its own
+// small-multiples line chart (the metrics span wildly different scales:
+// ratios near 1 next to alloc counts, so one shared axis would be
+// meaningless), gating metrics are badged and sorted first, and any run that
+// would have tripped the gate against its trailing median baseline is marked
+// on the line and listed in the table view.
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"strings"
+)
+
+// gatePolicy mirrors extract()'s gating policy by metric name, so dashboard
+// mode can classify history entries without a current report: the history
+// stores only values, and policy always comes from the current binary.
+func gatePolicy(name string) (gate bool, absSlack float64) {
+	switch {
+	case strings.HasPrefix(name, "auto-vs-best "):
+		return true, 0.05
+	case strings.HasPrefix(name, "allocs/op "), strings.HasPrefix(name, "batch allocs/op "):
+		return true, 1
+	case strings.HasPrefix(name, "ata-vs-multiply "):
+		return true, 0.35
+	case name == "lane high-latency ratio":
+		return true, 0.25
+	}
+	return false, 0
+}
+
+// dashPoint is one run's sample of a metric, with the trailing-median
+// baseline the gate would have compared it against at that point in time.
+type dashPoint struct {
+	Run       int      `json:"run"` // 1-based position in the history
+	Value     float64  `json:"v"`
+	Baseline  *float64 `json:"base,omitempty"`
+	Regressed bool     `json:"reg,omitempty"`
+}
+
+type dashMetric struct {
+	Name   string      `json:"name"`
+	Gate   bool        `json:"gate"`
+	Points []dashPoint `json:"points"`
+}
+
+type dashData struct {
+	Window     int          `json:"window"`
+	MaxRegress float64      `json:"maxRegress"`
+	Runs       int          `json:"runs"`
+	Metrics    []dashMetric `json:"metrics"`
+}
+
+// buildDash shapes the history into per-metric series. Each point's baseline
+// is the median of that metric over the `window` runs before it — the same
+// statistic the history gate uses — and a point is marked regressed by the
+// same rule compare() applies (relative threshold AND absolute slack).
+func buildDash(hist []historyEntry, window, runs int, maxRegress float64) dashData {
+	names := map[string]bool{}
+	for _, e := range hist {
+		for k := range e.Metrics {
+			names[k] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for k := range names {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		gi, _ := gatePolicy(ordered[i])
+		gj, _ := gatePolicy(ordered[j])
+		if gi != gj {
+			return gi
+		}
+		return ordered[i] < ordered[j]
+	})
+
+	d := dashData{Window: window, MaxRegress: maxRegress, Runs: runs}
+	for _, name := range ordered {
+		gate, slack := gatePolicy(name)
+		m := dashMetric{Name: name, Gate: gate}
+		for i, e := range hist {
+			v, ok := e.Metrics[name]
+			if !ok {
+				continue
+			}
+			pt := dashPoint{Run: i + 1, Value: v}
+			lo := i - window
+			if lo < 0 {
+				lo = 0
+			}
+			var prior []float64
+			for _, pe := range hist[lo:i] {
+				if pv, ok := pe.Metrics[name]; ok {
+					prior = append(prior, pv)
+				}
+			}
+			if len(prior) > 0 {
+				base := median(prior)
+				pt.Baseline = &base
+				pt.Regressed = gate && v > base*(1+maxRegress) && v-base > slack
+			}
+			m.Points = append(m.Points, pt)
+		}
+		d.Metrics = append(d.Metrics, m)
+	}
+	return d
+}
+
+// writeDash renders the history into a standalone HTML file. The data rides
+// in a JSON island (json.Marshal escapes <, >, & so it cannot break out of
+// the script element); everything else in the page is static.
+func writeDash(path string, hist []historyEntry, window int, maxRegress float64) error {
+	data, err := json.Marshal(buildDash(hist, window, len(hist), maxRegress))
+	if err != nil {
+		return err
+	}
+	page := strings.Replace(dashTemplate, "__DASH_DATA__", string(data), 1)
+	return os.WriteFile(path, []byte(page), 0o644)
+}
+
+const dashTemplate = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>fastmm bench trends</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --page:         #f9f9f7;
+    --surface-1:    #fcfcfb;
+    --text-primary: #0b0b0b;
+    --text-secondary:#52514e;
+    --muted:        #898781;
+    --grid:         #e1e0d9;
+    --axis:         #c3c2b7;
+    --series-1:     #2a78d6;
+    --critical:     #d03b3b;
+    --border:       rgba(11,11,11,0.10);
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --page:         #0d0d0d;
+      --surface-1:    #1a1a19;
+      --text-primary: #ffffff;
+      --text-secondary:#c3c2b7;
+      --muted:        #898781;
+      --grid:         #2c2c2a;
+      --axis:         #383835;
+      --series-1:     #3987e5;
+      --critical:     #d03b3b;
+      --border:       rgba(255,255,255,0.10);
+    }
+  }
+  :root[data-theme="dark"] .viz-root {
+    color-scheme: dark;
+    --page:         #0d0d0d;
+    --surface-1:    #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary:#c3c2b7;
+    --muted:        #898781;
+    --grid:         #2c2c2a;
+    --axis:         #383835;
+    --series-1:     #3987e5;
+    --critical:     #d03b3b;
+    --border:       rgba(255,255,255,0.10);
+  }
+  * { box-sizing: border-box; }
+  body.viz-root {
+    margin: 0; padding: 24px;
+    background: var(--page); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header { display: flex; align-items: baseline; gap: 16px; flex-wrap: wrap; }
+  h1 { font-size: 20px; font-weight: 600; margin: 0; }
+  .sub { color: var(--text-secondary); }
+  .controls { display: flex; gap: 16px; align-items: center; margin: 16px 0 20px; }
+  .controls label { color: var(--text-secondary); display: flex; gap: 6px; align-items: center; cursor: pointer; }
+  button.theme {
+    margin-left: auto; border: 1px solid var(--border); background: var(--surface-1);
+    color: var(--text-secondary); border-radius: 6px; padding: 4px 10px; cursor: pointer; font: inherit;
+  }
+  .kpis { display: flex; gap: 12px; flex-wrap: wrap; margin-bottom: 20px; }
+  .tile {
+    background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+    padding: 10px 16px; min-width: 130px;
+  }
+  .tile .label { color: var(--text-secondary); font-size: 12px; }
+  .tile .value { font-size: 26px; font-weight: 600; }
+  .tile .value.bad { color: var(--critical); }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(320px, 1fr)); gap: 12px; }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+    padding: 12px 14px 8px; position: relative;
+  }
+  .card h2 { font-size: 13px; font-weight: 600; color: var(--text-secondary); margin: 0 0 2px; overflow-wrap: anywhere; }
+  .badge {
+    font-size: 10px; font-weight: 600; letter-spacing: 0.04em; text-transform: uppercase;
+    border: 1px solid var(--border); border-radius: 999px; padding: 1px 7px;
+    color: var(--muted); vertical-align: 1px; margin-left: 6px;
+  }
+  .latest { font-size: 20px; font-weight: 600; }
+  .reg-note { color: var(--critical); font-size: 12px; font-weight: 600; margin-left: 8px; }
+  svg { display: block; width: 100%; height: auto; touch-action: none; }
+  .tooltip {
+    position: fixed; pointer-events: none; z-index: 10; display: none;
+    background: var(--surface-1); border: 1px solid var(--border); border-radius: 6px;
+    padding: 6px 10px; font-size: 12px; box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+  }
+  .tooltip .tv { font-weight: 600; font-size: 14px; }
+  .tooltip .tl { color: var(--text-secondary); }
+  .tooltip .tr { color: var(--critical); font-weight: 600; }
+  section.tableview { margin-top: 28px; }
+  section.tableview h2 { font-size: 15px; }
+  table { border-collapse: collapse; width: 100%; background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; }
+  th, td { text-align: left; padding: 6px 12px; border-top: 1px solid var(--grid); }
+  thead th { border-top: none; color: var(--text-secondary); font-weight: 600; font-size: 12px; }
+  td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+  td.reg { color: var(--critical); font-weight: 600; }
+  .hidden { display: none; }
+</style>
+</head>
+<body class="viz-root">
+<header>
+  <h1>fastmm bench trends</h1>
+  <span class="sub" id="subtitle"></span>
+  <button class="theme" id="theme" type="button">theme: auto</button>
+</header>
+<div class="controls">
+  <label><input type="checkbox" id="gateonly"> Gating metrics only</label>
+</div>
+<div class="kpis" id="kpis"></div>
+<div class="grid" id="charts"></div>
+<section class="tableview">
+  <h2>Table view</h2>
+  <table>
+    <thead><tr>
+      <th>Metric</th><th>Kind</th><th class="num">Latest</th>
+      <th class="num">Median (window)</th><th class="num">&Delta; vs median</th><th>Regressed runs</th>
+    </tr></thead>
+    <tbody id="tbody"></tbody>
+  </table>
+</section>
+<div class="tooltip" id="tooltip"></div>
+<script id="dash-data" type="application/json">__DASH_DATA__</script>
+<script>
+(function () {
+  'use strict';
+  var DATA = JSON.parse(document.getElementById('dash-data').textContent);
+  var SVGNS = 'http://www.w3.org/2000/svg';
+
+  function fmt(v) {
+    var a = Math.abs(v);
+    if (a >= 100) return v.toFixed(0);
+    if (a >= 10) return v.toFixed(1);
+    if (a >= 1) return v.toFixed(2);
+    if (a === 0) return '0';
+    return Number(v.toPrecision(3)).toString();
+  }
+  function el(tag, cls, text) {
+    var e = document.createElement(tag);
+    if (cls) e.className = cls;
+    if (text !== undefined) e.textContent = text;
+    return e;
+  }
+  function svgEl(tag, attrs) {
+    var e = document.createElementNS(SVGNS, tag);
+    for (var k in attrs) e.setAttribute(k, attrs[k]);
+    return e;
+  }
+  // Clean axis ticks: round step to 1/2/5 x 10^k covering [min,max].
+  function ticks(min, max, n) {
+    if (min === max) { min -= Math.abs(min) * 0.1 + 0.1; max += Math.abs(max) * 0.1 + 0.1; }
+    var raw = (max - min) / n;
+    var mag = Math.pow(10, Math.floor(Math.log(raw) / Math.LN10));
+    var step = [1, 2, 5, 10].map(function (s) { return s * mag; })
+      .filter(function (s) { return s >= raw; })[0] || 10 * mag;
+    var out = [];
+    for (var t = Math.ceil(min / step) * step; t <= max + step * 1e-9; t += step) out.push(t);
+    return out;
+  }
+
+  var latestReg = 0, gateCount = 0, infoCount = 0;
+  DATA.metrics.forEach(function (m) {
+    if (m.gate) gateCount++; else infoCount++;
+    var last = m.points[m.points.length - 1];
+    if (last && last.run === DATA.runs && last.reg) latestReg++;
+  });
+
+  document.getElementById('subtitle').textContent =
+    DATA.runs + (DATA.runs === 1 ? ' run' : ' runs') + '; baseline: median of last ' + DATA.window +
+    '; gate threshold +' + Math.round(DATA.maxRegress * 100) + '%';
+
+  var kpis = document.getElementById('kpis');
+  [['Runs', String(DATA.runs), false],
+   ['Gating metrics', String(gateCount), false],
+   ['Info metrics', String(infoCount), false],
+   ['Regressions, latest run', latestReg > 0 ? '▲ ' + latestReg : '0', latestReg > 0]
+  ].forEach(function (t) {
+    var tile = el('div', 'tile');
+    tile.appendChild(el('div', 'label', t[0]));
+    tile.appendChild(el('div', t[2] ? 'value bad' : 'value', t[1]));
+    kpis.appendChild(tile);
+  });
+
+  var tooltip = document.getElementById('tooltip');
+  function showTip(x, y, rows) {
+    tooltip.textContent = '';
+    rows.forEach(function (r) {
+      var d = el('div', r[0], r[1]);
+      tooltip.appendChild(d);
+    });
+    tooltip.style.display = 'block';
+    var w = tooltip.offsetWidth, vw = window.innerWidth;
+    tooltip.style.left = Math.min(x + 14, vw - w - 8) + 'px';
+    tooltip.style.top = (y + 14) + 'px';
+  }
+  function hideTip() { tooltip.style.display = 'none'; }
+
+  // One small-multiples card per metric: a single blue 2px line, an 8px
+  // end-dot, and 8px critical dots (plus the header note and the table) on
+  // regressed runs — the marker never carries meaning by color alone.
+  var W = 320, H = 120, ML = 48, MR = 12, MT = 10, MB = 20;
+  var charts = document.getElementById('charts');
+  DATA.metrics.forEach(function (m) {
+    var card = el('div', 'card' + (m.gate ? ' is-gate' : ' is-info'));
+    var h2 = el('h2', null, m.name);
+    h2.appendChild(el('span', 'badge', m.gate ? 'gate' : 'info'));
+    card.appendChild(h2);
+
+    var last = m.points[m.points.length - 1];
+    var head = el('div');
+    head.appendChild(el('span', 'latest', fmt(last.v)));
+    var regRuns = m.points.filter(function (p) { return p.reg; });
+    if (regRuns.length) {
+      head.appendChild(el('span', 'reg-note',
+        '▲ regressed: run ' + regRuns.map(function (p) { return p.run; }).join(', ')));
+    }
+    card.appendChild(head);
+
+    var svg = svgEl('svg', { viewBox: '0 0 ' + W + ' ' + H, role: 'img' });
+    var lo = Infinity, hi = -Infinity;
+    m.points.forEach(function (p) {
+      if (p.v < lo) lo = p.v;
+      if (p.v > hi) hi = p.v;
+      if (p.base != null) { if (p.base < lo) lo = p.base; if (p.base > hi) hi = p.base; }
+    });
+    var tk = ticks(lo, hi, 3);
+    lo = Math.min(lo, tk[0]); hi = Math.max(hi, tk[tk.length - 1]);
+    if (hi === lo) hi = lo + 1;
+    var xs = function (run) {
+      return DATA.runs < 2 ? (ML + (W - ML - MR) / 2)
+        : ML + (run - 1) / (DATA.runs - 1) * (W - ML - MR);
+    };
+    var ys = function (v) { return MT + (hi - v) / (hi - lo) * (H - MT - MB); };
+
+    tk.forEach(function (t) {
+      svg.appendChild(svgEl('line', { x1: ML, x2: W - MR, y1: ys(t), y2: ys(t),
+        stroke: 'var(--grid)', 'stroke-width': 1 }));
+      var lbl = svgEl('text', { x: ML - 6, y: ys(t) + 3, 'text-anchor': 'end',
+        fill: 'var(--muted)', 'font-size': 10, style: 'font-variant-numeric: tabular-nums' });
+      lbl.textContent = fmt(t);
+      svg.appendChild(lbl);
+    });
+    svg.appendChild(svgEl('line', { x1: ML, x2: W - MR, y1: H - MB, y2: H - MB,
+      stroke: 'var(--axis)', 'stroke-width': 1 }));
+    [1, DATA.runs].forEach(function (r, i) {
+      if (DATA.runs < 2 && i === 1) return;
+      var lbl = svgEl('text', { x: xs(r), y: H - 6, 'text-anchor': i === 0 ? 'start' : 'end',
+        fill: 'var(--muted)', 'font-size': 10 });
+      lbl.textContent = 'run ' + r;
+      svg.appendChild(lbl);
+    });
+
+    var dPath = m.points.map(function (p, i) {
+      return (i === 0 ? 'M' : 'L') + xs(p.run).toFixed(1) + ' ' + ys(p.v).toFixed(1);
+    }).join(' ');
+    if (m.points.length > 1) {
+      svg.appendChild(svgEl('path', { d: dPath, fill: 'none', stroke: 'var(--series-1)',
+        'stroke-width': 2, 'stroke-linecap': 'round', 'stroke-linejoin': 'round' }));
+    }
+    m.points.forEach(function (p, i) {
+      var endDot = i === m.points.length - 1;
+      if (!endDot && !p.reg) return;
+      svg.appendChild(svgEl('circle', { cx: xs(p.run), cy: ys(p.v), r: 4,
+        fill: p.reg ? 'var(--critical)' : 'var(--series-1)',
+        stroke: 'var(--surface-1)', 'stroke-width': 2 }));
+    });
+
+    var cross = svgEl('line', { y1: MT, y2: H - MB, stroke: 'var(--axis)',
+      'stroke-width': 1, visibility: 'hidden' });
+    svg.appendChild(cross);
+    svg.addEventListener('pointermove', function (ev) {
+      var box = svg.getBoundingClientRect();
+      var px = (ev.clientX - box.left) / box.width * W;
+      var best = null, bd = Infinity;
+      m.points.forEach(function (p) {
+        var d = Math.abs(xs(p.run) - px);
+        if (d < bd) { bd = d; best = p; }
+      });
+      if (!best) return;
+      cross.setAttribute('x1', xs(best.run));
+      cross.setAttribute('x2', xs(best.run));
+      cross.setAttribute('visibility', 'visible');
+      var rows = [['tl', 'run ' + best.run], ['tv', fmt(best.v)]];
+      if (best.base != null) rows.push(['tl', 'median baseline ' + fmt(best.base)]);
+      if (best.reg) rows.push(['tr', '▲ regressed']);
+      showTip(ev.clientX, ev.clientY, rows);
+    });
+    svg.addEventListener('pointerleave', function () {
+      cross.setAttribute('visibility', 'hidden');
+      hideTip();
+    });
+
+    card.appendChild(svg);
+    charts.appendChild(card);
+  });
+
+  var tbody = document.getElementById('tbody');
+  DATA.metrics.forEach(function (m) {
+    var tr = el('tr', m.gate ? 'is-gate' : 'is-info');
+    var last = m.points[m.points.length - 1];
+    tr.appendChild(el('td', null, m.name));
+    tr.appendChild(el('td', null, m.gate ? 'gate' : 'info'));
+    tr.appendChild(el('td', 'num', fmt(last.v)));
+    tr.appendChild(el('td', 'num', last.base != null ? fmt(last.base) : '—'));
+    tr.appendChild(el('td', 'num', last.base != null && last.base !== 0
+      ? ((last.v / last.base - 1) >= 0 ? '+' : '') + ((last.v / last.base - 1) * 100).toFixed(1) + '%'
+      : '—'));
+    var regRuns = m.points.filter(function (p) { return p.reg; });
+    tr.appendChild(el('td', regRuns.length ? 'reg' : null,
+      regRuns.length ? '▲ ' + regRuns.map(function (p) { return p.run; }).join(', ') : 'none'));
+    tbody.appendChild(tr);
+  });
+
+  document.getElementById('gateonly').addEventListener('change', function () {
+    var only = this.checked;
+    document.querySelectorAll('.is-info').forEach(function (n) {
+      n.classList.toggle('hidden', only);
+    });
+  });
+
+  var themes = ['auto', 'light', 'dark'];
+  var btn = document.getElementById('theme');
+  btn.addEventListener('click', function () {
+    var cur = document.documentElement.dataset.theme || 'auto';
+    var next = themes[(themes.indexOf(cur) + 1) % themes.length];
+    if (next === 'auto') delete document.documentElement.dataset.theme;
+    else document.documentElement.dataset.theme = next;
+    btn.textContent = 'theme: ' + next;
+  });
+})();
+</script>
+</body>
+</html>
+`

@@ -74,9 +74,30 @@ func main() {
 	historyPath := flag.String("history", "", "JSONL metric history (history mode: gate on the median of the last -window runs, then append the current run)")
 	window := flag.Int("window", 5, "history runs the median baseline covers")
 	maxRegress := flag.Float64("max-regress", 0.15, "relative regression that fails the build")
+	dashPath := flag.String("dash", "", "render the -history file as a static self-contained HTML trend dashboard at this path")
 	flag.Parse()
+	if *dashPath != "" && *curPath == "" {
+		// Dashboard-only mode: no gating, just render what the history holds.
+		if *historyPath == "" {
+			fmt.Fprintln(os.Stderr, "usage: benchtrend -history <hist.jsonl> -dash <out.html> [-window 5] [-max-regress 0.15]")
+			os.Exit(2)
+		}
+		hist, err := loadHistory(*historyPath)
+		if err == nil && len(hist) == 0 {
+			err = fmt.Errorf("%s: empty history, nothing to render", *historyPath)
+		}
+		if err == nil {
+			err = writeDash(*dashPath, hist, *window, *maxRegress)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("bench dashboard: %d run(s) -> %s\n", len(hist), *dashPath)
+		return
+	}
 	if *curPath == "" || (*prevPath == "") == (*historyPath == "") {
-		fmt.Fprintln(os.Stderr, "usage: benchtrend (-prev <old.json> | -history <hist.jsonl>) -cur <new.json> [-window 5] [-max-regress 0.15]")
+		fmt.Fprintln(os.Stderr, "usage: benchtrend (-prev <old.json> | -history <hist.jsonl>) -cur <new.json> [-window 5] [-max-regress 0.15] [-dash <out.html>]")
 		os.Exit(2)
 	}
 	cur, err := load(*curPath)
@@ -98,6 +119,19 @@ func main() {
 		if err := appendHistory(*historyPath, hist, curMetrics); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
 			os.Exit(2)
+		}
+		if *dashPath != "" {
+			// Render after the append so the dashboard's newest run is the
+			// one this invocation just gated.
+			updated, err := loadHistory(*historyPath)
+			if err == nil {
+				err = writeDash(*dashPath, updated, *window, *maxRegress)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("bench dashboard: %d run(s) -> %s\n", len(updated), *dashPath)
 		}
 	} else {
 		prev, err := load(*prevPath)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fastmm/internal/bench"
@@ -236,5 +237,95 @@ func TestHistoryRoundTrip(t *testing.T) {
 	}
 	if _, err := loadHistory(bad); err == nil {
 		t.Fatal("malformed history line must error")
+	}
+}
+
+func TestGatePolicyMirrorsExtract(t *testing.T) {
+	// Every metric extract() produces must classify identically through
+	// gatePolicy — dashboard mode has only names, so a drift between the two
+	// would silently mislabel cards.
+	for name, m := range extract(testReport(1.2, 2, 1.0)) {
+		gate, slack := gatePolicy(name)
+		if gate != m.gate || (gate && slack != m.absSlack) {
+			t.Errorf("%q: gatePolicy = (%v, %g), extract = (%v, %g)",
+				name, gate, slack, m.gate, m.absSlack)
+		}
+	}
+}
+
+// TestBuildDash pins the dashboard data shaping: per-point trailing-median
+// baselines, the same regression rule the gate applies, and gates-first
+// ordering.
+func TestBuildDash(t *testing.T) {
+	hist, err := loadHistory(histFile(t, []float64{1.0, 1.1, 1.0, 1.1, 1.0, 2.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := buildDash(hist, 5, len(hist), 0.15)
+	if d.Runs != 6 || len(d.Metrics) == 0 {
+		t.Fatalf("dash data = %d runs, %d metrics", d.Runs, len(d.Metrics))
+	}
+	for i := 1; i < len(d.Metrics); i++ {
+		if !d.Metrics[i-1].Gate && d.Metrics[i].Gate {
+			t.Fatalf("metric %q (gate) sorted after %q (info)",
+				d.Metrics[i].Name, d.Metrics[i-1].Name)
+		}
+	}
+	var auto *dashMetric
+	for i := range d.Metrics {
+		if d.Metrics[i].Name == "auto-vs-best 384x384x384" {
+			auto = &d.Metrics[i]
+		}
+	}
+	if auto == nil || !auto.Gate || len(auto.Points) != 6 {
+		t.Fatalf("auto-vs-best series = %+v", auto)
+	}
+	if auto.Points[0].Baseline != nil || auto.Points[0].Regressed {
+		t.Errorf("first run has no prior window, got baseline %v", auto.Points[0].Baseline)
+	}
+	// Run 6 (2.0) vs the median of runs 1-5 (1.0): +100%, beyond the 0.05
+	// slack — the one regression marker; runs 2-5 jitter inside the band.
+	for _, p := range auto.Points[:5] {
+		if p.Regressed {
+			t.Errorf("run %d marked regressed: %+v", p.Run, p)
+		}
+	}
+	last := auto.Points[5]
+	if last.Baseline == nil || *last.Baseline != 1.0 || !last.Regressed {
+		t.Fatalf("run 6 = %+v, want regressed vs baseline 1.0", last)
+	}
+}
+
+// TestWriteDash renders a real history and checks the artifact is a single
+// self-contained page with the data island embedded.
+func TestWriteDash(t *testing.T) {
+	hist, err := loadHistory(histFile(t, []float64{1.0, 1.1, 2.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "dash.html")
+	if err := writeDash(out, hist, 5, 0.15); err != nil {
+		t.Fatal(err)
+	}
+	page, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(page)
+	for _, want := range []string{
+		"auto-vs-best 384x384x384", // metric data made it into the island
+		`"reg":true`,               // the run-3 regression marker
+		"prefers-color-scheme",     // dark mode is selected, not flipped
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	// Self-contained: no external scripts, styles, images, or fetches.
+	// (The SVG namespace URI inside the inline JS is not a reference.)
+	for _, banned := range []string{"<script src", "<link", "@import", "fetch(", "<img"} {
+		if strings.Contains(html, banned) {
+			t.Errorf("dashboard is not self-contained: found %q", banned)
+		}
 	}
 }

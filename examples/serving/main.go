@@ -68,15 +68,29 @@ func main() {
 	if *httpAddr != "" {
 		// Expvar-style observability: the snapshot is assembled per request
 		// from the batcher's atomic counters, so polling it costs the hot
-		// path nothing.
-		http.HandleFunc("/debug/fastmm", func(w http.ResponseWriter, _ *http.Request) {
+		// path nothing. ?trace=1 switches to the sampled execution traces
+		// (ring snapshot — per-request verdicts, plans, and spans); the plain
+		// view bundles the Stats snapshot with the histogram bucket bounds so
+		// a scraper can label the latency cells without hardcoding them.
+		http.HandleFunc("/debug/fastmm", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			if err := json.NewEncoder(w).Encode(batcher.Stats()); err != nil {
+			var err error
+			if r.URL.Query().Get("trace") != "" {
+				err = json.NewEncoder(w).Encode(struct {
+					Traces []fastmm.TraceRecord `json:"traces"`
+				}{batcher.Traces()})
+			} else {
+				err = json.NewEncoder(w).Encode(struct {
+					fastmm.BatchStats
+					HistogramBoundsNanos []time.Duration `json:"histogram_bounds_nanos"`
+				}{batcher.Stats(), fastmm.BatchHistogramBounds()})
+			}
+			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
 		go func() { log.Fatal(http.ListenAndServe(*httpAddr, nil)) }()
-		fmt.Printf("stats endpoint: http://%s/debug/fastmm\n", *httpAddr)
+		fmt.Printf("stats endpoint: http://%s/debug/fastmm (traces: ?trace=1)\n", *httpAddr)
 	}
 
 	rng := rand.New(rand.NewSource(42))
@@ -230,6 +244,8 @@ func main() {
 	fmt.Printf("stats: warm hit rate %.0f%%, %d warm classes, %.1f effective GFLOPS over %.2fs busy, backends %v, sync/stream done %d/%d\n",
 		100*st.WarmHitRate(), st.WarmEntries, st.EffectiveGFLOPS, st.BusySeconds,
 		st.Backends, st.SyncDone, st.StreamDone)
+	fmt.Printf("  observability: %d traces sampled (%d lost) %v, drift events %d, re-probes %d\n",
+		st.TraceSampled, st.TraceLost, st.TraceSamples, st.DriftEvents, st.Reprobes)
 	laneName := map[fastmm.Lane]string{fastmm.LaneHigh: "high", fastmm.LaneNormal: "normal", fastmm.LaneLow: "low"}
 	for _, lane := range []fastmm.Lane{fastmm.LaneHigh, fastmm.LaneNormal, fastmm.LaneLow} {
 		ls := st.Lanes[lane]

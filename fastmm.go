@@ -65,6 +65,7 @@ import (
 	"fastmm/internal/mat"
 	"fastmm/internal/op"
 	"fastmm/internal/resources"
+	"fastmm/internal/trace"
 	"fastmm/internal/tuner"
 )
 
@@ -399,6 +400,36 @@ const BatchNumLanes = batch.NumLanes
 // bucket; the last bucket is unbounded.
 func BatchHistogramBounds() []time.Duration { return batch.HistogramBounds() }
 
+// TraceConfig configures per-request execution tracing
+// (BatchOptions.Trace). The zero value leaves tracing ON at the default
+// 1-in-64 sampling rate into a 128-record ring — the record path is
+// allocation-free and never takes a blocking lock, cheap enough for
+// production; set Disable to turn the layer off. Sampled records are read
+// back with Batcher.Traces().
+type TraceConfig = trace.Config
+
+// TraceRecord is one sampled request's execution trace: submission verdict
+// ("queued", "sync", "stream", "rejected", "expired"), lane and queue wait
+// (with lane-aging promotion flagged), the resolved plan (shape class, warm
+// hit/miss, algorithm, steps, scheduler, backend, predicted vs measured
+// seconds), the measured service time, and the execution's spans. Records
+// marshal to JSON for export (the serving example's /debug/fastmm?trace=1).
+type TraceRecord = trace.Record
+
+// TraceSpan is one event inside a TraceRecord: the scheduler choice
+// ("sched"), a recursion step with its workspace mark ("step"), or a leaf
+// gemm call with backend, dims, and duration ("leaf").
+type TraceSpan = trace.Span
+
+// BatchDriftOptions configures the drift loop (BatchOptions.Drift): every
+// completed execution is compared against the calibrated service-time
+// prediction, K consecutive completions outside the confidence band declare
+// a drift event, and drift events trigger a rate-limited re-tune of the
+// class (warm entry evicted, cached plan invalidated in memory and on disk,
+// class re-tuned, admission estimator reseeded). The zero value enables the
+// loop with defaults; set Disable to turn it off.
+type BatchDriftOptions = batch.DriftOptions
+
 // BatchStream is a pipelined same-shape stream over a Batcher: Push stages
 // ("packs") the operands into retained double buffers and overlaps the copy
 // with the previous item's execution, so the caller may reuse its operand
@@ -435,9 +466,11 @@ var (
 // for the process lifetime (its runner goroutines park on an empty queue).
 func sharedBatcher(opts BatchOptions) (*Batcher, error) {
 	norm := opts.Normalized()
-	key := fmt.Sprintf("%s e%d g%d np%t q%d ag%d | %s",
+	key := fmt.Sprintf("%s e%d g%d np%t q%d ag%d tr%t/%d/%d dr%t/%g/%d/%d | %s",
 		norm.Resources.Key(), norm.MaxEntries, norm.GrainFLOPs,
 		norm.NoPipeline, norm.QueueDepth, norm.AgingWindow,
+		norm.Trace.Disable, norm.Trace.Ring, norm.Trace.Sample,
+		norm.Drift.Disable, norm.Drift.Band, norm.Drift.K, norm.Drift.MinReprobeInterval,
 		autoOptionsKey(norm.Tuning.Normalized()))
 	batchMu.Lock()
 	defer batchMu.Unlock()

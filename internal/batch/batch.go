@@ -31,9 +31,11 @@ package batch
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,7 @@ import (
 	"fastmm/internal/mat"
 	"fastmm/internal/op"
 	"fastmm/internal/resources"
+	"fastmm/internal/trace"
 	"fastmm/internal/tuner"
 )
 
@@ -101,6 +104,16 @@ type Options struct {
 	// sweeper (default: the wall clock). Tests inject a fake clock to make
 	// every time-dependent behavior deterministic.
 	Clock Clock
+	// Trace configures per-request execution tracing (internal/trace). The
+	// zero value leaves tracing ON at the default 1-in-trace.DefaultSample
+	// rate into a trace.DefaultRing-record ring — the record path is
+	// allocation-free and lock-light, cheap enough for production. Set
+	// Trace.Disable to turn the layer off entirely.
+	Trace trace.Config
+	// Drift configures drift detection and re-probing. The zero value
+	// leaves the loop ON with the defaults (see DriftOptions); set
+	// Drift.Disable to turn it off.
+	Drift DriftOptions
 	// Tuning configures the per-entry tuners. Workers is managed per entry
 	// width and Profile is filled from the batcher's one calibration, so
 	// those two fields are overridden; everything else (probe policy,
@@ -135,6 +148,8 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = wallClock{}
 	}
+	o.Trace = o.Trace.Normalized()
+	o.Drift = o.Drift.withDefaults()
 	return o
 }
 
@@ -163,6 +178,11 @@ type warmEntry struct {
 	tokens int
 	elem   *list.Element // nil once evicted
 	bytes  int64
+	// labels caches one pprof label context per lane (op, lane, class,
+	// backend), built once at entry construction so runner goroutines can
+	// SetGoroutineLabels without a per-execution allocation —
+	// pprof.WithLabels allocates, applying a cached context does not.
+	labels [numLanes]context.Context
 }
 
 // Ticket tracks one asynchronous multiplication.
@@ -193,6 +213,11 @@ type task struct {
 	submitted time.Time
 	est       int64
 	class     tuner.ShapeClass
+	// rec is the item's trace record when the submission was sampled (nil
+	// for the untraced majority); aged reports the dequeue was a lane-aging
+	// promotion rather than strict priority.
+	rec  *trace.Record
+	aged bool
 }
 
 // expired reports whether the task's deadline (if any) has passed.
@@ -221,6 +246,12 @@ type Batcher struct {
 	building map[entryKey]chan struct{}
 
 	sem wsem
+
+	// ring is the trace buffer (nil when Options.Trace disabled — every
+	// call on it is then a nil check); lastReprobe is the drift loop's rate
+	// limiter (unix nanos of the last accepted re-probe, CAS-claimed).
+	ring        *trace.Ring
+	lastReprobe atomic.Int64
 
 	// executing counts multiplications that are actually running (dequeued
 	// by a runner, or a synchronous call past its entry resolution) — NOT
@@ -267,6 +298,7 @@ func New(opts Options) (*Batcher, error) {
 		building:  map[entryKey]chan struct{}{},
 		closeDone: make(chan struct{}),
 	}
+	b.ring = trace.New(b.opts.Trace)
 	b.clock = b.opts.Clock
 	b.outCond = sync.NewCond(&b.outMu)
 	b.sem.free = b.opts.Workers
@@ -338,26 +370,76 @@ func (b *Batcher) doSync(req op.Request) error {
 	load := b.executing.Add(1)
 	defer b.executing.Add(-1)
 	m, k, n := req.Shape()
-	e, err := b.entryFor(req.Op, m, k, n, int(load))
+	rec := b.sample(req.Op, m, k, n, "sync")
+	e, hit, err := b.entryFor(req.Op, m, k, n, int(load))
 	if err != nil {
+		if rec != nil {
+			rec.Err = err.Error()
+			b.ring.Publish(rec)
+		}
 		return err
 	}
-	err = b.timedRun(e, req)
+	if rec != nil {
+		rec.WarmHit = hit
+	}
+	err = b.timedRun(e, req, rec)
+	b.ring.Publish(rec)
 	b.met.syncDone.Add(1)
 	return err
 }
 
+// sample claims a trace record for one request (nil for the untraced
+// majority) and stamps the fields every path shares. verdict must be a
+// static string. The caller owns publishing the record.
+func (b *Batcher) sample(o op.Op, m, k, n int, verdict string) *trace.Record {
+	rec := b.ring.Sample()
+	if rec == nil {
+		return nil
+	}
+	rec.Op = o.String()
+	rec.M, rec.K, rec.N = m, k, n
+	rec.Verdict = verdict
+	rec.SubmitUnixNanos = b.clock.Now().UnixNano()
+	if o.Valid() {
+		b.met.traceSamples[o].Add(1)
+	}
+	return rec
+}
+
 // timedRun is run with the shared per-execution metrics and service-time
-// feedback folded in: op and backend mix, effective flops and busy time, and
-// the (op, class) EWMA estimate (the admission currency). Every execution
-// path — sync, async, stream — funnels through it.
-func (b *Batcher) timedRun(e *warmEntry, req op.Request) error {
+// feedback folded in: op and backend mix, effective flops and busy time,
+// the (op, class) EWMA estimate (the admission currency), and the drift
+// check that estimate feeds. Every execution path — sync, async, stream —
+// funnels through it. rec, when non-nil, receives the resolved plan, the
+// execution's spans (threaded via req.Trace), and the outcome; the caller
+// publishes it.
+func (b *Batcher) timedRun(e *warmEntry, req op.Request, rec *trace.Record) error {
+	plan := e.te.Plan()
+	if rec != nil {
+		cm, ck, cn := e.key.class.Dims()
+		rec.ClassM, rec.ClassK, rec.ClassN = cm, ck, cn
+		rec.Algorithm = plan.Algorithm
+		rec.Steps = plan.Steps
+		rec.Scheduler = plan.Parallel
+		rec.Backend = plan.Backend
+		rec.PlanWorkers = plan.Workers
+		rec.PredictedSeconds = plan.PredictedSeconds
+		rec.MeasuredSeconds = plan.MeasuredSeconds
+		req.Trace = &rec.Spans
+	}
 	start := b.clock.Now()
 	err := b.run(e, req)
 	d := b.clock.Now().Sub(start)
+	if rec != nil {
+		rec.ServiceNanos = int64(d)
+		if err != nil {
+			rec.Err = err.Error()
+		}
+	}
 	m, k, n := req.Shape()
-	b.met.recordExec(e.te.Plan().Backend, req.Op, m, k, n, d)
+	b.met.recordExec(plan.Backend, req.Op, m, k, n, d)
 	b.est.observe(e.key.op, e.key.class, d.Seconds())
+	b.checkDrift(e, d.Seconds())
 	return err
 }
 
@@ -435,6 +517,11 @@ func (b *Batcher) submit(req op.Request, opts SubmitOpts) (*Ticket, error) {
 	b.startRunners()
 	now := b.clock.Now()
 	tk.submitted = now
+	if rec := b.sample(req.Op, m, k, n, "queued"); rec != nil {
+		rec.Lane = opts.Lane.String()
+		rec.SubmitUnixNanos = now.UnixNano()
+		tk.rec = rec
+	}
 	if tk.expired(now) {
 		// Already past its deadline: resolve without ever touching the
 		// queue or a runner. The resolution happens on its own goroutine so
@@ -450,6 +537,11 @@ func (b *Batcher) submit(req op.Request, opts SubmitOpts) (*Ticket, error) {
 		if err := b.admit(opts.Lane, opts.Deadline, now); err != nil {
 			lc.submitted.Add(1)
 			lc.rejected.Add(1)
+			if tk.rec != nil {
+				tk.rec.Verdict = "rejected"
+				b.ring.Publish(tk.rec)
+				tk.rec = nil
+			}
 			b.submitMu.Unlock()
 			return nil, err
 		}
@@ -604,12 +696,17 @@ func (b *Batcher) PlanForOp(o op.Op, m, k, n int) (tuner.Plan, error) {
 		return tuner.Plan{}, err
 	}
 	defer b.doneOutstanding(nil)
-	e, err := b.entryFor(o, m, k, n, 1)
+	e, _, err := b.entryFor(o, m, k, n, 1)
 	if err != nil {
 		return tuner.Plan{}, err
 	}
 	return e.te.Plan(), nil
 }
+
+// Traces returns a snapshot of the published trace records, oldest first
+// (nil when tracing is disabled). Safe for concurrent use; the snapshot
+// allocates, the record path it observes does not.
+func (b *Batcher) Traces() []trace.Record { return b.ring.Snapshot() }
 
 // startRunners spins up the runner pool on first async use (a batcher used
 // only synchronously never spawns a goroutine). Callers hold submitMu.
@@ -690,13 +787,27 @@ func (b *Batcher) execute(tk *task) {
 		return
 	}
 	lc := &b.met.lanes[tk.lane]
-	lc.queueWait.observe(start.Sub(tk.submitted))
+	wait := start.Sub(tk.submitted)
+	lc.queueWait.observe(wait)
+	if tk.rec != nil {
+		tk.rec.QueueWaitNanos = int64(wait)
+		tk.rec.Aged = tk.aged
+	}
 	lc.executing.Add(1)
 	load := int(b.executing.Add(1))
 	m, k, n := tk.req.Shape()
-	e, err := b.entryFor(tk.req.Op, m, k, n, load)
+	e, hit, err := b.entryFor(tk.req.Op, m, k, n, load)
 	if err == nil {
-		err = b.timedRun(e, tk.req)
+		if tk.rec != nil {
+			tk.rec.WarmHit = hit
+		}
+		// Runner goroutines carry the execution's identity as pprof labels
+		// (op, lane, class, backend) for the duration of the run, so CPU
+		// profiles of a serving process split by what was being computed.
+		// Both Set calls apply cached contexts — no allocation.
+		pprof.SetGoroutineLabels(e.labels[tk.lane])
+		err = b.timedRun(e, tk.req, tk.rec)
+		pprof.SetGoroutineLabels(context.Background())
 	}
 	b.executing.Add(-1)
 	lc.service.observe(b.clock.Now().Sub(start))
@@ -710,6 +821,15 @@ func (b *Batcher) execute(tk *task) {
 // error — expiry is an expected per-item outcome for deadline'd traffic,
 // not a batch failure.
 func (b *Batcher) finish(tk *task, err error) {
+	if tk.rec != nil {
+		if errors.Is(err, ErrDeadlineExceeded) {
+			tk.rec.Verdict = "expired"
+		} else if err != nil && tk.rec.Err == "" {
+			tk.rec.Err = err.Error()
+		}
+		b.ring.Publish(tk.rec)
+		tk.rec = nil
+	}
 	lc := &b.met.lanes[tk.lane]
 	if errors.Is(err, ErrDeadlineExceeded) {
 		lc.expired.Add(1)
@@ -805,16 +925,19 @@ func satMul64(a, b int64) int64 {
 // entryFor resolves (building if needed) the warm entry for an (op, shape)
 // at the current load; (m,k,n) is the op's gemm-equivalent triple. First
 // touches of an op+class+width tune once — concurrent first-touchers wait
-// for the builder instead of tuning in parallel.
-func (b *Batcher) entryFor(o op.Op, m, k, n, load int) (*warmEntry, error) {
+// for the builder instead of tuning in parallel. hit reports whether the
+// pool already held the entry (false: this call tuned it, or waited on the
+// goroutine that did).
+func (b *Batcher) entryFor(o op.Op, m, k, n, load int) (e *warmEntry, hit bool, err error) {
 	key := entryKey{op: o.PlanOp(), class: tuner.ClassOf(m, k, n), workers: b.widthFor(m, k, n, load)}
+	waited := false
 	for {
 		b.mu.Lock()
 		if e, ok := b.entries[key]; ok {
 			b.lru.MoveToFront(e.elem)
 			b.mu.Unlock()
 			b.met.warmHits.Add(1)
-			return e, nil
+			return e, !waited, nil
 		}
 		ch, building := b.building[key]
 		if !building {
@@ -822,10 +945,12 @@ func (b *Batcher) entryFor(o op.Op, m, k, n, load int) (*warmEntry, error) {
 			b.building[key] = ch
 			b.mu.Unlock()
 			b.met.warmMisses.Add(1)
-			return b.buildEntry(key, ch)
+			e, err := b.buildEntry(key, ch)
+			return e, false, err
 		}
 		b.mu.Unlock()
 		<-ch // another goroutine is tuning this class; reuse its result
+		waited = true
 	}
 }
 
@@ -845,7 +970,8 @@ func (b *Batcher) liveEntry(e *warmEntry, m, k, n int) (*warmEntry, error) {
 	if live {
 		return e, nil
 	}
-	return b.entryFor(e.key.op, m, k, n, 1)
+	fresh, _, err := b.entryFor(e.key.op, m, k, n, 1)
+	return fresh, err
 }
 
 // buildEntry tunes a class representative at the key's width and installs
@@ -875,6 +1001,13 @@ func (b *Batcher) buildEntry(key entryKey, ch chan struct{}) (*warmEntry, error)
 		tokens = b.opts.Workers
 	}
 	e := &warmEntry{key: key, te: te, tokens: tokens}
+	cm, ck, cn := key.class.Dims()
+	class := fmt.Sprintf("%dx%dx%d", cm, ck, cn)
+	for l := Lane(0); l < numLanes; l++ {
+		e.labels[l] = pprof.WithLabels(context.Background(), pprof.Labels(
+			"op", key.op.String(), "lane", l.String(),
+			"class", class, "backend", te.Plan().Backend))
+	}
 	e.elem = b.lru.PushFront(e)
 	b.entries[key] = e
 	b.evictLocked()

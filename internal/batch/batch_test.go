@@ -49,6 +49,11 @@ func testOptions(workers int) Options {
 		// strict priority, and a wall-clock hiccup past the default window
 		// must not promote a lane head mid-test. Aging has dedicated tests.
 		AgingWindow: -1,
+		// Disable the drift loop by default: tests run synthetic calibration
+		// profiles on real machines, so observed times legitimately diverge
+		// from the profile's predictions and would trigger re-probes
+		// mid-test. Drift has dedicated fake-clock tests.
+		Drift: DriftOptions{Disable: true},
 		Tuning: tuner.Options{
 			Profile:     testProfile(workers),
 			ProbeTopK:   tuner.NoProbes,
@@ -112,7 +117,7 @@ func TestSameClassSharesWarmEntry(t *testing.T) {
 		if got := tuner.ClassOf(m, k, n); got != wantClass {
 			t.Fatalf("ClassOf(%d,%d,%d) = %v, want %v", m, k, n, got, wantClass)
 		}
-		e, err := b.entryFor(op.Multiply, m, k, n, 1)
+		e, _, err := b.entryFor(op.Multiply, m, k, n, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -151,6 +151,14 @@ type metrics struct {
 	// ops counts executions per operation, indexed by op.Op — a fixed
 	// array, so the hot path stays allocation- and lock-free.
 	ops [op.NumOps]atomic.Int64
+	// traceSamples counts claimed trace records per operation (same
+	// indexing); their sum equals the ring's Sampled count.
+	traceSamples [op.NumOps]atomic.Int64
+	// driftEvents counts declared drift events (K consecutive out-of-band
+	// completions); reprobes the re-tunes they triggered (≤ driftEvents —
+	// the rate limiter absorbs the rest).
+	driftEvents atomic.Int64
+	reprobes    atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -240,6 +248,20 @@ type Stats struct {
 	EffectiveGFLOPS float64
 	// BusySeconds is the accumulated execution time behind that rate.
 	BusySeconds float64
+	// DriftEvents counts declared calibration-drift events (K consecutive
+	// completions outside the confidence band around the calibrated
+	// prediction); Reprobes the re-tunes they triggered. Reprobes ≤
+	// DriftEvents: the rate limiter absorbs events inside
+	// Drift.MinReprobeInterval.
+	DriftEvents int64
+	Reprobes    int64
+	// TraceSampled / TraceLost are the trace ring's lifetime claim and
+	// contention-drop counts; TraceSamples splits the claims per operation
+	// (op.Op.String names). Sum(TraceSamples) == TraceSampled. All zero when
+	// tracing is disabled.
+	TraceSampled int64
+	TraceLost    int64
+	TraceSamples map[string]int64
 }
 
 // WarmHitRate is the fraction of entry resolutions served by a warm entry
@@ -303,6 +325,16 @@ func (b *Batcher) Stats() Stats {
 	for i := range b.met.ops {
 		if v := b.met.ops[i].Load(); v > 0 {
 			s.Ops[op.Op(i).String()] = v
+		}
+	}
+	s.DriftEvents = b.met.driftEvents.Load()
+	s.Reprobes = b.met.reprobes.Load()
+	s.TraceSampled = b.ring.Sampled()
+	s.TraceLost = b.ring.Lost()
+	s.TraceSamples = map[string]int64{}
+	for i := range b.met.traceSamples {
+		if v := b.met.traceSamples[i].Load(); v > 0 {
+			s.TraceSamples[op.Op(i).String()] = v
 		}
 	}
 	if busy := b.met.busyNanos.Load(); busy > 0 {

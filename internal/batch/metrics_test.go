@@ -371,4 +371,20 @@ func TestLaneConservationInvariantHammer(t *testing.T) {
 	if st.QueueDepth != 0 || st.Executing != 0 {
 		t.Fatalf("post-Close depth %d executing %d", st.QueueDepth, st.Executing)
 	}
+	// Trace-sample conservation: every claimed record was counted against
+	// exactly one op, and the drift loop (disabled in testOptions) ran
+	// nothing.
+	var perOp int64
+	for _, v := range st.TraceSamples {
+		perOp += v
+	}
+	if perOp != st.TraceSampled {
+		t.Errorf("per-op trace samples %d != TraceSampled %d", perOp, st.TraceSampled)
+	}
+	if st.TraceLost < 0 || st.TraceSampled < 0 {
+		t.Errorf("negative trace counters: sampled=%d lost=%d", st.TraceSampled, st.TraceLost)
+	}
+	if st.DriftEvents != 0 || st.Reprobes != 0 {
+		t.Errorf("drift disabled but DriftEvents=%d Reprobes=%d", st.DriftEvents, st.Reprobes)
+	}
 }

@@ -228,6 +228,7 @@ func (q *laneQueue) pop() (t *task, ok bool) {
 		return nil, false
 	}
 	lane := Lane(-1)
+	aged := false
 	if q.aging > 0 {
 		now := q.clock.Now()
 		var oldest time.Time
@@ -240,6 +241,7 @@ func (q *laneQueue) pop() (t *task, ok bool) {
 				oldest, lane = h.submitted, l
 			}
 		}
+		aged = lane >= 0
 	}
 	if lane < 0 {
 		for _, l := range laneOrder {
@@ -250,6 +252,7 @@ func (q *laneQueue) pop() (t *task, ok bool) {
 		}
 	}
 	t = q.lanes[lane].pop()
+	t.aged = aged
 	q.estSum[lane] -= t.est
 	q.size--
 	q.mu.Unlock()

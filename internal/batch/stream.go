@@ -5,6 +5,7 @@ import (
 
 	"fastmm/internal/mat"
 	"fastmm/internal/op"
+	"fastmm/internal/trace"
 )
 
 // Stream is a same-shape pipeline over a Batcher: a fixed ⟨m,k,n⟩ warm entry
@@ -52,7 +53,7 @@ func (b *Batcher) Stream(m, k, n int) (*Stream, error) {
 		return nil, err
 	}
 	defer b.doneOutstanding(nil)
-	e, err := b.entryFor(op.Multiply, m, k, n, 1)
+	e, _, err := b.entryFor(op.Multiply, m, k, n, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -93,9 +94,16 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 		return err
 	}
 	s.e = e
+	// Stream items sample like every other path; the entry is warm by
+	// construction (the ctor or liveEntry resolved it just above).
+	rec := s.b.sample(op.Multiply, s.m, s.k, s.n, "stream")
+	if rec != nil {
+		rec.WarmHit = true
+	}
 	if !s.pipe {
 		s.b.executing.Add(1)
-		err := s.b.timedRun(s.e, op.Request{Op: op.Multiply, C: C, A: A, B: B})
+		err := s.b.timedRun(s.e, op.Request{Op: op.Multiply, C: C, A: A, B: B}, rec)
+		s.b.ring.Publish(rec)
 		s.b.executing.Add(-1)
 		s.b.met.streamDone.Add(1)
 		s.b.doneOutstanding(nil) // the error is returned to this caller alone
@@ -115,7 +123,7 @@ func (s *Stream) Push(C, A, B *mat.Dense) error {
 	}
 	slot.a.CopyFrom(A) // the packing stage: overlaps the other slot's execution
 	slot.b.CopyFrom(B)
-	slot.ticket = s.b.goRun(s.e, C, slot.a, slot.b)
+	slot.ticket = s.b.goRun(s.e, C, slot.a, slot.b, rec)
 	err = s.err
 	s.err = nil
 	return err
@@ -145,11 +153,12 @@ func (s *Stream) Flush() error {
 // releases it, so Close still drains active streams. Stream errors are not
 // folded into Batcher.Wait's first error — the stream's own Push/Flush
 // reporting owns them.
-func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense) *Ticket {
+func (b *Batcher) goRun(e *warmEntry, C, A, B *mat.Dense, rec *trace.Record) *Ticket {
 	t := &Ticket{done: make(chan struct{})}
 	go func() {
 		b.executing.Add(1)
-		t.err = b.timedRun(e, op.Request{Op: op.Multiply, C: C, A: A, B: B})
+		t.err = b.timedRun(e, op.Request{Op: op.Multiply, C: C, A: A, B: B}, rec)
+		b.ring.Publish(rec)
 		b.executing.Add(-1)
 		b.met.streamDone.Add(1)
 		close(t.done)

@@ -33,6 +33,7 @@ import (
 	"fastmm/internal/gemm"
 	"fastmm/internal/mat"
 	"fastmm/internal/resources"
+	"fastmm/internal/trace"
 	"fastmm/internal/workspace"
 )
 
@@ -255,13 +256,32 @@ func (e *Executor) Backend() string { return e.be.Name() }
 
 // Multiply computes C = A·B. C must be A.Rows()×B.Cols() and must not alias
 // A or B.
-func (e *Executor) Multiply(C, A, B *mat.Dense) error {
+func (e *Executor) Multiply(C, A, B *mat.Dense) error { return e.MultiplyTrace(C, A, B, nil) }
+
+// MultiplyTrace is Multiply with an optional execution-trace sink: when tr
+// is non-nil the call records its scheduling decision (the traversal mode
+// actually run, workspace-cap degradation included, and the granted width),
+// each recursion step's sub-shape and workspace mark, and every leaf gemm
+// call. The sink is fixed-capacity and concurrency-safe, so BFS fan-out
+// records without coordination; a nil sink costs one pointer check per site.
+func (e *Executor) MultiplyTrace(C, A, B *mat.Dense, tr *trace.Spans) error {
 	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
 		return fmt.Errorf("core: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
 			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols())
 	}
 	mode := e.scheduleMode(A.Rows(), A.Cols(), B.Cols())
 	ctx := newRunContext(e.opts, mode, e.leafCount())
+	ctx.tr = tr
+	if tr != nil {
+		tr.Add(trace.Span{
+			Kind:    trace.KindSched,
+			Sched:   mode.String(),
+			Workers: int32(ctx.workers),
+			M:       int32(A.Rows()),
+			K:       int32(A.Cols()),
+			N:       int32(B.Cols()),
+		})
+	}
 	ar := e.arenas.Get()
 	// Returned via defer so a panic escaping the recursion (e.g. a caller
 	// mutating an operand concurrently) cannot leak the warmed arena. For
@@ -479,20 +499,20 @@ func (e *Executor) leafMultiply(ctx *runContext, C, A, B *mat.Dense, alpha float
 	}
 	switch ctx.mode {
 	case Sequential:
-		gemm.Dispatch(e.be, C, alpha, A, B, false, 1)
+		gemm.DispatchTraced(e.be, C, alpha, A, B, false, 1, ctx.tr)
 	case DFS:
-		gemm.Dispatch(e.be, C, alpha, A, B, false, ctx.workers)
+		gemm.DispatchTraced(e.be, C, alpha, A, B, false, ctx.workers, ctx.tr)
 	case BFS:
-		ctx.compute(func() { gemm.Dispatch(e.be, C, alpha, A, B, false, 1) })
+		ctx.compute(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, false, 1, ctx.tr) })
 	case Hybrid:
 		if ctx.isDeferredLeaf(leafIdx) {
 			if s := e.opts.Stats; s != nil {
 				s.add(&s.DeferredLeaves, 1)
 			}
-			ctx.deferLeaf(func() { gemm.Dispatch(e.be, C, alpha, A, B, false, ctx.workers) })
+			ctx.deferLeaf(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, false, ctx.workers, ctx.tr) })
 			return
 		}
-		ctx.compute(func() { gemm.Dispatch(e.be, C, alpha, A, B, false, 1) })
+		ctx.compute(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, false, 1, ctx.tr) })
 		ctx.leafDone(maxInt(1, e.leavesFrom(level)))
 	}
 }
@@ -532,6 +552,16 @@ func (e *Executor) fastStep(ctx *runContext, ar *workspace.Arena, lp levelPlan, 
 
 	mark := ar.Mark()
 	defer ar.Release(mark)
+	if ctx.tr != nil {
+		ctx.tr.Add(trace.Span{
+			Kind:  trace.KindStep,
+			Level: int32(level),
+			M:     int32(A.Rows()),
+			K:     int32(A.Cols()),
+			N:     int32(B.Cols()),
+			Mark:  ar.LiveFloatBytes(),
+		})
+	}
 
 	ablocks := blocks(ar, A, b.M, b.K)
 	bblocks := blocks(ar, B, b.K, b.N)

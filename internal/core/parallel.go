@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"fastmm/internal/mat"
+	"fastmm/internal/trace"
 )
 
 // runContext carries one Multiply call's scheduling state. The semaphore
@@ -15,6 +16,11 @@ type runContext struct {
 	mode    Parallel
 	workers int
 	sem     chan struct{}
+	// tr, when non-nil, is the call's execution-trace sink (set by
+	// MultiplyTrace): recursion steps and leaf gemm calls record into it.
+	// The sink is its own synchronization domain (atomic claim), so spawned
+	// tasks write to it without touching the context's mutex.
+	tr *trace.Spans
 
 	totalLeaves int // R^L for explicit Steps, else 0
 	bfsCut      int // leaves [0,bfsCut) run BFS-style; the rest are deferred

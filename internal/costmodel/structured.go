@@ -38,3 +38,15 @@ func (ma Machine) StructuredOverheadSeconds(ar, ac, cdim, w int) float64 {
 func (ma Machine) AccumulateOverheadSeconds(m, n, w int) float64 {
 	return ma.MoveSeconds(3*float64(m)*float64(n), w)
 }
+
+// SymmetricTime predicts the classical-baseline seconds of a symmetric
+// product (AᵗA or A·Aᵗ) whose gemm-equivalent triple is ⟨p,q,r⟩ (r == p for
+// these shapes): the symmetric recursion's fraction of the full multiply plus
+// the transpose/mirror data movement. This is the admission estimator's seed
+// and the drift detector's baseline for symmetric classes that have never
+// been probed — an op-aware floor, so a structured op drifting against a
+// general-multiply prediction is not misread as regression.
+func (ma Machine) SymmetricTime(p, q, r, w int) float64 {
+	return ATAFlopFactor*ma.ClassicalTime(p, q, r, w) +
+		ma.StructuredOverheadSeconds(p, q, p, w)
+}

@@ -1,0 +1,40 @@
+package gemm
+
+import (
+	"time"
+
+	"fastmm/internal/mat"
+	"fastmm/internal/trace"
+)
+
+// TraceLeaf records one base-case kernel call — backend, gemm-equivalent
+// dims, duration — into tr. Nil-safe and allocation-free: the backend name
+// is a static registry string and the span sink is fixed-capacity, so traced
+// leaves stay inside the engine's zero-allocation budget.
+func TraceLeaf(tr *trace.Spans, be Backend, m, k, n int, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Add(trace.Span{
+		Kind:    trace.KindLeaf,
+		Backend: be.Name(),
+		M:       int32(m),
+		K:       int32(k),
+		N:       int32(n),
+		Nanos:   int64(d),
+	})
+}
+
+// DispatchTraced is Dispatch with a leaf span recorded into tr when non-nil
+// — the hook the recursive core and the classical baseline thread a
+// request's trace sink through. With a nil sink it is exactly Dispatch plus
+// one pointer check (no clock reads).
+func DispatchTraced(be Backend, C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers int, tr *trace.Spans) {
+	if tr == nil {
+		Dispatch(be, C, alpha, A, B, accumulate, workers)
+		return
+	}
+	start := time.Now()
+	Dispatch(be, C, alpha, A, B, accumulate, workers)
+	TraceLeaf(tr, be, A.Rows(), A.Cols(), B.Cols(), time.Since(start))
+}

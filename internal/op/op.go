@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"fastmm/internal/mat"
+	"fastmm/internal/trace"
 )
 
 // Op identifies a structured multiplication operation.
@@ -122,6 +123,11 @@ type Request struct {
 	A           *mat.Dense
 	B           *mat.Dense // nil for ATA/Syrk
 	Alpha, Beta float64
+	// Trace, when non-nil, receives execution spans (scheduler choice,
+	// recursion steps, leaf gemm calls) from the layers the request passes
+	// through. The sink is fixed-capacity and allocation-free; a nil Trace
+	// (the common case) costs each layer one pointer check.
+	Trace *trace.Spans
 }
 
 // Normalized resolves the request's defaults: Alpha 0 → 1, and MultiplyAdd

@@ -1,0 +1,83 @@
+package tuner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// healthFile sits beside the tuning cache: the calibration-health snapshot
+// the batcher's drift loop persists so `fmmtune show` can report live EWMA
+// vs model-predicted service times without talking to a running process.
+const healthFile = "health.json"
+
+// HealthEntry is one (op, shape class) row of the calibration-health
+// snapshot: what the cost model (or probe) predicted the class's service
+// time to be, what the live EWMA of observed executions says it actually is,
+// and the class's drift history.
+type HealthEntry struct {
+	// Op is the plan-space operation name (op.Op.String).
+	Op string `json:"op"`
+	// Class is the shape class the row describes.
+	Class ShapeClass `json:"class"`
+	// PredictedSeconds is the calibrated baseline the drift band is centered
+	// on (the tuned plan's measured probe time when one ran, else its model
+	// prediction); EWMASeconds the live observed estimate.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	EWMASeconds      float64 `json:"ewma_seconds"`
+	// Drifts counts drift events (K consecutive out-of-band completions)
+	// and LastDrift stamps the most recent one (zero time: never drifted).
+	Drifts    int64     `json:"drifts,omitempty"`
+	LastDrift time.Time `json:"last_drift,omitempty"`
+}
+
+// Health is the persisted calibration-health snapshot.
+type Health struct {
+	Version int           `json:"version"`
+	Updated time.Time     `json:"updated"`
+	Entries []HealthEntry `json:"entries"`
+}
+
+// HealthPath reports where the snapshot lives; ok is false when the disk
+// layer is disabled.
+func HealthPath() (string, bool) {
+	dir, ok := cacheDirLocation()
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(dir, healthFile), true
+}
+
+// SaveHealth persists the snapshot (atomic write, last writer wins), best
+// effort under the same process-wide lock as the tuning cache. A disabled
+// disk layer is not an error — health reporting is advisory.
+func SaveHealth(h Health) error {
+	path, ok := HealthPath()
+	if !ok {
+		return nil
+	}
+	h.Version = ProfileVersion
+	persistMu.Lock()
+	defer persistMu.Unlock()
+	return writeJSON(path, h)
+}
+
+// LoadHealth reads the persisted snapshot; ok is false for a disabled disk
+// layer and for missing, unreadable, corrupt, or version-mismatched files —
+// callers degrade to "no health data", never to an error.
+func LoadHealth() (Health, bool) {
+	path, ok := HealthPath()
+	if !ok {
+		return Health{}, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Health{}, false
+	}
+	var h Health
+	if err := json.Unmarshal(data, &h); err != nil || h.Version != ProfileVersion {
+		return Health{}, false
+	}
+	return h, true
+}

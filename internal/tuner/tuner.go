@@ -234,7 +234,7 @@ func (d *decision) run(r op.Request) error {
 	switch r.Op {
 	case op.Multiply, op.MultiplyAdd:
 		if r.Beta == 0 {
-			if err := d.exec.Multiply(r.C, r.A, r.B); err != nil {
+			if err := d.exec.MultiplyTrace(r.C, r.A, r.B, r.Trace); err != nil {
 				return err
 			}
 			if r.Alpha != 1 {
@@ -288,11 +288,21 @@ func (d *decision) runClassical(r op.Request) error {
 	w := d.plan.Workers
 	switch r.Op {
 	case op.Multiply, op.MultiplyAdd:
-		gemm.Dispatch(d.be, r.C, r.Alpha, r.A, r.B, acc, w)
-	case op.ATA:
-		gemm.ATA(d.be, r.C, r.Alpha, r.A, acc, w)
-	case op.Syrk:
-		gemm.Syrk(d.be, r.C, r.Alpha, r.A, acc, w)
+		gemm.DispatchTraced(d.be, r.C, r.Alpha, r.A, r.B, acc, w, r.Trace)
+	case op.ATA, op.Syrk:
+		var start time.Time
+		if r.Trace != nil {
+			start = time.Now()
+		}
+		if r.Op == op.ATA {
+			gemm.ATA(d.be, r.C, r.Alpha, r.A, acc, w)
+		} else {
+			gemm.Syrk(d.be, r.C, r.Alpha, r.A, acc, w)
+		}
+		if r.Trace != nil {
+			m, k, n := r.Shape()
+			gemm.TraceLeaf(r.Trace, d.be, m, k, n, time.Since(start))
+		}
 	default:
 		return fmt.Errorf("tuner: unsupported op %s", r.Op)
 	}
@@ -486,6 +496,23 @@ func (t *Tuner) ForgetOp(o op.Op, m, k, n int) {
 	key := t.key(o.PlanOp(), m, k, n)
 	t.mu.Lock()
 	t.lru.remove(key)
+	t.mu.Unlock()
+}
+
+// InvalidateOp drops an (op, shape) decision everywhere this tuner resolves
+// from — the LRU, the loaded disk snapshot, and the dirty set — so the next
+// touch of the shape re-ranks (and, per the probe policy, re-probes) from
+// scratch instead of rebuilding the cached plan. This is the drift-recovery
+// primitive: ForgetOp only releases the executor (the plan survives on
+// disk), which is exactly wrong when the plan itself has gone stale against
+// the machine's current behavior. The persisted file entry is superseded
+// when the fresh decision saves (merge-on-save is keyed per entry).
+func (t *Tuner) InvalidateOp(o op.Op, m, k, n int) {
+	key := t.key(o.PlanOp(), m, k, n)
+	t.mu.Lock()
+	t.lru.remove(key)
+	delete(t.disk, key)
+	delete(t.dirty, key)
 	t.mu.Unlock()
 }
 

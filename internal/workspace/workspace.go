@@ -151,6 +151,19 @@ func (a *Arena) Reset() {
 	}
 }
 
+// LiveFloatBytes reports the bytes of float temporaries currently allocated
+// (between the arena's base and its stack pointer, full chunks below the
+// current one included) — the "how deep in workspace is this step" coordinate
+// execution traces record at each recursion mark. Unlike Bytes it measures
+// live stack depth, not retained capacity. Allocation-free.
+func (a *Arena) LiveFloatBytes() int64 {
+	var n int64
+	for i := 0; i < a.floats.ci && i < len(a.floats.chunks); i++ {
+		n += int64(len(a.floats.chunks[i])) * 8
+	}
+	return n + int64(a.floats.off)*8
+}
+
 // Bytes reports the total bytes retained by the arena's chunks.
 func (a *Arena) Bytes() int64 {
 	var n int64
