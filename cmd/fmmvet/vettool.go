@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"fastmm/internal/analysis/framework"
+)
+
+// vetConfig is the subset of cmd/go's vet.cfg the tool consumes.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool analyzes one package under the cmd/go vet-tool protocol: parse the
+// unit's files, type-check against export-data dependencies, run the
+// analyzers, print findings to stderr, exit 2 when there are any. The
+// (empty) .vetx facts file must be written in every successful outcome —
+// cmd/go treats its absence as tool failure.
+func vettool(cfgPath string, analyzers []*framework.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmmvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fmmvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	ok := func() int {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("fmmvet\n"), 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "fmmvet: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+	if cfg.VetxOnly {
+		return ok()
+	}
+	// Test units (IDs like "pkg [pkg.test]" or synthesized .test mains):
+	// fmmvet's contracts cover non-test code only.
+	if strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return ok()
+	}
+	// cmd/go folds a package's in-package _test.go files into its vet unit;
+	// drop them for the same reason. An all-test unit (external test package)
+	// has nothing left to check.
+	goFiles := cfg.GoFiles[:0:0]
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return ok()
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return ok()
+			}
+			fmt.Fprintf(os.Stderr, "fmmvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{Importer: newCfgImporter(fset, &cfg)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return ok()
+		}
+		fmt.Fprintf(os.Stderr, "fmmvet: %v\n", err)
+		return 1
+	}
+
+	prog := &framework.Program{
+		Fset: fset,
+		Packages: map[string]*framework.Package{
+			cfg.ImportPath: {Path: cfg.ImportPath, Pkg: tpkg, Info: info, Files: files},
+		},
+		// A single-package load cannot see go.mod; the unit's own path
+		// prefix stands in so sibling module packages are recognized as
+		// unverifiable-here rather than misread as stdlib.
+		ModulePath: strings.Split(cfg.ImportPath, "/")[0],
+	}
+	diags, err := framework.RunAnalyzers(prog, analyzers, []string{cfg.ImportPath})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmmvet: %v\n", err)
+		return 1
+	}
+	if code := ok(); code != 0 {
+		return code
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// cfgImporter resolves the unit's dependencies from the export-data files
+// cmd/go listed in the config.
+type cfgImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func newCfgImporter(fset *token.FileSet, cfg *vetConfig) *cfgImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet.cfg", path)
+		}
+		return os.Open(file)
+	}
+	return &cfgImporter{cfg: cfg, gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (im *cfgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return im.gc.ImportFrom(path, "", 0)
+}

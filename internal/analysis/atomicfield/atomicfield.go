@@ -1,0 +1,141 @@
+// Package atomicfield defines the fmmvet analyzer that enforces all-or-
+// nothing atomicity on struct fields.
+//
+// The repository keeps a few raw counters updated with sync/atomic —
+// core.Stats' per-run counters, trace.Spans' cursor — rather than the typed
+// atomic.Int64 wrappers (the fields predate them and are snapshotted in
+// bulk). The contract that makes this sound: a field accessed through
+// sync/atomic anywhere must be accessed through sync/atomic everywhere. One
+// plain `s.n++` or `s.n = 0` against a shared pointer races with the atomic
+// readers, and the race detector only catches it if a test happens to hit
+// the interleaving.
+//
+// The analyzer is cross-package: pass one sweeps every loaded package for
+// &x.f arguments to sync/atomic calls and records the field objects; pass
+// two flags any plain (non-&) access to those fields through a pointer base.
+// Accesses on a non-pointer base are exempt — they act on a copy (the
+// Snapshot() pattern), which cannot race with the original. Taking the
+// field's address is exempt: the address is on its way into an atomic call
+// or a helper that makes one.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fastmm/internal/analysis/directive"
+	"fastmm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must be atomic everywhere",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	atomicFields := pass.Prog.Cached("atomicfield.fields", func() any {
+		return collectAtomicFields(pass.Prog)
+	}).(map[*types.Var]bool)
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	idx := directive.Parse(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		// Every expression whose address is taken is exempt from flagging —
+		// the address is headed into sync/atomic (directly or via a helper).
+		addressed := map[ast.Expr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				addressed[ast.Unparen(ue.X)] = true
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			enclosing, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				f := fieldOf(pass.TypesInfo, sel)
+				if f == nil || !atomicFields[f] {
+					return true
+				}
+				if addressed[sel] {
+					return true
+				}
+				if baseTV, ok := pass.TypesInfo.Types[sel.X]; ok {
+					if _, isPtr := baseTV.Type.Underlying().(*types.Pointer); !isPtr {
+						return true // access on a copy, cannot race
+					}
+				}
+				if idx.LineHas(directive.Allow, sel.Pos()) || directive.FuncHas(directive.Allow, enclosing) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere; plain access through a pointer races with it — use sync/atomic here too", f.Name())
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectAtomicFields sweeps the whole program for &x.f arguments to
+// sync/atomic calls and returns the set of field objects so used.
+func collectAtomicFields(prog *framework.Program) map[*types.Var]bool {
+	fields := map[*types.Var]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if f := fieldOf(pkg.Info, sel); f != nil {
+						fields[f] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if s.Kind() != types.FieldVal {
+			return nil
+		}
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"fastmm/internal/analysis/atomicfield"
+	"fastmm/internal/analysis/framework/analysistest"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata/src", atomicfield.Analyzer, "counter", "misuse")
+}

@@ -1,0 +1,32 @@
+// Package counter owns a raw-atomic counter, the in-package half of the
+// atomicfield fixtures.
+package counter
+
+import "sync/atomic"
+
+type Stats struct {
+	Ops  int64
+	Name string
+}
+
+func (s *Stats) Inc() { atomic.AddInt64(&s.Ops, 1) }
+
+func (s *Stats) Load() int64 { return atomic.LoadInt64(&s.Ops) }
+
+// Snapshot reads atomically into a copy; consumers read the copy freely.
+func (s *Stats) Snapshot() Stats {
+	return Stats{Ops: atomic.LoadInt64(&s.Ops), Name: s.Name}
+}
+
+func (s *Stats) resetRacy() {
+	s.Ops = 0 // want `field Ops is accessed with sync/atomic elsewhere`
+}
+
+// Sum reads copies: a value base cannot race with the original.
+func Sum(snaps []Stats) int64 {
+	var t int64
+	for _, s := range snaps {
+		t += s.Ops
+	}
+	return t
+}

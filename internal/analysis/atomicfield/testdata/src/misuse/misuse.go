@@ -1,0 +1,14 @@
+// Package misuse holds the cross-package half of the atomicfield fixtures:
+// the atomic discipline established in package counter binds here too.
+package misuse
+
+import "counter"
+
+func Bump(s *counter.Stats) {
+	s.Ops++ // want `field Ops is accessed with sync/atomic elsewhere`
+}
+
+func Waived(s *counter.Stats) int64 {
+	//fastmm:allow torn read is fine for the debug dump
+	return s.Ops
+}

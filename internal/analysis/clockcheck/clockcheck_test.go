@@ -1,0 +1,12 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"fastmm/internal/analysis/clockcheck"
+	"fastmm/internal/analysis/framework/analysistest"
+)
+
+func TestClockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", clockcheck.Analyzer, "clocked", "unclocked")
+}

@@ -1,0 +1,40 @@
+// Package clocked exercises the clockcheck analyzer: the package opts into
+// Clock injection, so raw wall-clock reads are violations.
+//
+//fastmm:clocked
+package clocked
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time.Now in a //fastmm:clocked package`
+}
+
+func alsoBad(d time.Duration) {
+	time.Sleep(d)     // want `time.Sleep in a //fastmm:clocked package`
+	_ = time.After(d) // want `time.After in a //fastmm:clocked package`
+}
+
+// sanctioned is the production Clock implementation: the whole function may
+// touch the wall clock.
+//
+//fastmm:wallclock production clock implementation
+func sanctioned() time.Time {
+	time.Sleep(1)
+	return time.Now()
+}
+
+func lineWaiver() time.Time {
+	//fastmm:wallclock leaf timing is the measurement itself
+	return time.Now()
+}
+
+func harmless(d time.Duration) time.Duration {
+	return d * 2 // duration arithmetic never reads the clock
+}
+
+func methodsAreFine(t, u time.Time) bool {
+	// (time.Time).After / .Before are pure instant comparisons — they share
+	// names with the package-level clock readers but never touch the clock.
+	return t.After(u) || t.Before(u)
+}

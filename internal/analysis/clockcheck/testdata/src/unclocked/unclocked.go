@@ -1,0 +1,6 @@
+// Package unclocked never opts in, so raw wall-clock use is fine.
+package unclocked
+
+import "time"
+
+func Fine() time.Time { return time.Now() }

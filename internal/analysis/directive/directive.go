@@ -1,0 +1,146 @@
+// Package directive parses the repository's //fastmm:* source annotations —
+// the contract language between the code and the fmmvet analyzers
+// (internal/analysis). Directives use Go's standard tool-directive comment
+// form (no space after //, so godoc hides them):
+//
+//	//fastmm:zeroalloc
+//	    On a function declaration's doc comment: the function and everything
+//	    it statically calls inside the module must be allocation-free
+//	    (checked by the zeroalloc analyzer).
+//
+//	//fastmm:clocked
+//	    Anywhere in a package: the package routes time through an injected
+//	    Clock, so raw time.Now/Sleep/After/... calls are violations
+//	    (checked by the clockcheck analyzer).
+//
+//	//fastmm:wallclock [reason]
+//	    On a function's doc comment or on the offending line: this use of
+//	    the wall clock inside a clocked package is deliberate (the
+//	    production Clock implementation, leaf-kernel timing).
+//
+//	//fastmm:allow [reason]
+//	    On a declaration's doc comment or on the offending line (or the line
+//	    directly above it): suppress fmmvet findings here, with the reason
+//	    documenting why the exception is sound. On a function declaration it
+//	    exempts the whole function — zeroalloc additionally stops traversing
+//	    call edges into it (the BFS/HYBRID spawn paths are the canonical
+//	    use: they allocate per task by design and sit off the steady-state
+//	    DFS path).
+//
+// A directive with a reason ("//fastmm:allow peeling fixup, off the
+// steady-state path") is the encouraged form; the analyzers only key on the
+// verb.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the directive namespace.
+const Prefix = "//fastmm:"
+
+// Verbs.
+const (
+	ZeroAlloc = "zeroalloc"
+	Clocked   = "clocked"
+	WallClock = "wallclock"
+	Allow     = "allow"
+)
+
+// Index is the parsed directive set of one package's files.
+type Index struct {
+	fset *token.FileSet
+	// lines maps a file to the set of lines carrying each verb. A directive
+	// applies to its own line and, when it is an own-line comment, to the
+	// next line as well (both sets are populated at parse time).
+	lines map[*token.File]map[string]map[int]bool
+	pkg   map[string]bool // package-level verbs (any file, any comment)
+}
+
+// Parse builds the directive index of a package.
+func Parse(fset *token.FileSet, files []*ast.File) *Index {
+	idx := &Index{
+		fset:  fset,
+		lines: map[*token.File]map[string]map[int]bool{},
+		pkg:   map[string]bool{},
+	}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				idx.pkg[verb] = true
+				pos := fset.Position(c.Pos())
+				byVerb := idx.lines[tf]
+				if byVerb == nil {
+					byVerb = map[string]map[int]bool{}
+					idx.lines[tf] = byVerb
+				}
+				set := byVerb[verb]
+				if set == nil {
+					set = map[int]bool{}
+					byVerb[verb] = set
+				}
+				// A directive covers its own line (trailing form) and the
+				// line below (own-line form annotating the next statement).
+				set[pos.Line] = true
+				set[pos.Line+1] = true
+			}
+		}
+	}
+	return idx
+}
+
+func parseDirective(text string) (verb string, ok bool) {
+	if !strings.HasPrefix(text, Prefix) {
+		return "", false
+	}
+	rest := text[len(Prefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	switch rest {
+	case ZeroAlloc, Clocked, WallClock, Allow:
+		return rest, true
+	}
+	return "", false
+}
+
+// PkgHas reports whether any file of the package carries the verb anywhere.
+func (idx *Index) PkgHas(verb string) bool { return idx.pkg[verb] }
+
+// LineHas reports whether pos's line is covered by the verb (same line, or
+// the line below an own-line directive).
+func (idx *Index) LineHas(verb string, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	tf := idx.fset.File(pos)
+	byVerb := idx.lines[tf]
+	if byVerb == nil {
+		return false
+	}
+	return byVerb[verb][idx.fset.Position(pos).Line]
+}
+
+// FuncHas reports whether the function declaration's doc comment carries the
+// verb.
+func FuncHas(verb string, fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if v, ok := parseDirective(c.Text); ok && v == verb {
+			return true
+		}
+	}
+	return false
+}

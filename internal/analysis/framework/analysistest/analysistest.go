@@ -1,0 +1,118 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture packages
+// (testdata/src/<name>) and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest without the
+// dependency.
+//
+// A want comment declares the diagnostics expected on its line, each as a
+// quoted regular expression:
+//
+//	time.Sleep(d) // want `use the injected Clock`
+//	x := f()      // want "never released" "second finding"
+//
+// Every reported diagnostic must match a want on its line and every want
+// must be matched by some diagnostic; unmatched either way fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fastmm/internal/analysis/framework"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the named fixture packages from srcRoot (a testdata/src
+// directory), applies the analyzer to each, and compares diagnostics with
+// the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := framework.LoadFixtureDirs(srcRoot, pkgs)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := framework.RunAnalyzers(prog, []*framework.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	matched := map[key][]bool{}
+	for _, name := range pkgs {
+		pkg := prog.Packages[name]
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, pat := range splitPatterns(m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants[k] = append(wants[k], re)
+						matched[k] = append(matched[k], false)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", position(pos), d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re.String())
+			}
+		}
+	}
+}
+
+func position(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+}
+
+// splitPatterns parses the tail of a want comment: a sequence of patterns
+// each quoted with backquotes or double quotes.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			break
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			break
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

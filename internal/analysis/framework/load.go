@@ -1,0 +1,274 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Export     string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	DepOnly bool
+	Error   *struct{ Err string }
+}
+
+// Load lists the packages matched by patterns (plus their dependencies),
+// parses and type-checks every main-module package from source, and resolves
+// everything else (the standard library) from compiler export data. The
+// result is a Program whose Packages all carry syntax, ready for
+// RunAnalyzers. Loading shells out to the go command once; dependencies'
+// export data is built into the build cache by `go list -export`.
+func Load(dir string, patterns []string) (*Program, []string, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, errBuf.String())
+	}
+
+	var pkgs []*listPackage
+	byPath := map[string]*listPackage{}
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+		byPath[lp.ImportPath] = lp
+	}
+
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, Packages: map[string]*Package{}}
+	exp := newExportImporter(fset)
+	for _, lp := range pkgs {
+		if lp.Export != "" {
+			exp.exports[lp.ImportPath] = lp.Export
+		}
+		if inModule(lp) && prog.ModulePath == "" {
+			prog.ModulePath = lp.Module.Path
+		}
+	}
+
+	// Type-check module packages in dependency order. `go list -deps` output
+	// is already topologically sorted (dependencies first).
+	var roots []string
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if !inModule(lp) {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			// cgo packages (the blas-tagged bridge) cannot be type-checked
+			// from plain source; they only appear under opt-in build tags.
+			continue
+		}
+		pkg, err := checkPackage(fset, lp, prog, exp)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog.Packages[lp.ImportPath] = pkg
+		if !lp.DepOnly {
+			roots = append(roots, lp.ImportPath)
+		}
+	}
+	return prog, roots, nil
+}
+
+func inModule(lp *listPackage) bool {
+	return !lp.Standard && lp.Module != nil && lp.Module.Main
+}
+
+// checkPackage parses and type-checks one module package, resolving imports
+// of other module packages to their already-checked types and everything
+// else through export data.
+func checkPackage(fset *token.FileSet, lp *listPackage, prog *Program, exp *exportImporter) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: &progImporter{prog: prog, exp: exp, importMap: lp.ImportMap},
+		Error:    nil, // fail on the first type error; the repo must compile
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{Path: lp.ImportPath, Pkg: tpkg, Info: info, Files: files}, nil
+}
+
+// progImporter resolves imports for one package under check: module packages
+// come from the program (source-checked), the rest from export data.
+type progImporter struct {
+	prog      *Program
+	exp       *exportImporter
+	importMap map[string]string
+}
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := im.prog.Packages[path]; ok {
+		return p.Pkg, nil
+	}
+	return im.exp.Import(path)
+}
+
+// exportImporter reads compiler export data recorded by `go list -export`.
+// Paths not seen in the load are resolved with one extra go list call and
+// cached — the fixture runner's stdlib imports arrive this way.
+type exportImporter struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	gc      types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet) *exportImporter {
+	e := &exportImporter{fset: fset, exports: map[string]string{}}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok {
+			if err := e.list(path); err != nil {
+				return nil, err
+			}
+			file, ok = e.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+	e.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.gc.ImportFrom(path, "", 0)
+}
+
+// list resolves export data for path (and its dependencies) via the go
+// command, building it into the build cache as a side effect.
+func (e *exportImporter) list(path string) error {
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, errBuf.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return err
+		}
+		if lp.Export != "" {
+			e.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return nil
+}
+
+// LoadFixtureDirs type-checks a set of GOPATH-style fixture packages —
+// testdata/src/<name> directories — into one Program. Fixture packages may
+// import each other by bare name (resolved to sibling directories, loaded on
+// demand) and the standard library (resolved through export data). Every
+// fixture package is treated as in-module, so cross-package analyzers see
+// all their bodies.
+func LoadFixtureDirs(srcRoot string, names []string) (*Program, error) {
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, Packages: map[string]*Package{}}
+	exp := newExportImporter(fset)
+	var load func(name string) (*Package, error)
+	load = func(name string) (*Package, error) {
+		if p, ok := prog.Packages[name]; ok {
+			return p, nil
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(name))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, ent := range entries {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") || strings.HasSuffix(ent.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("fixture package %s: no Go files in %s", name, dir)
+		}
+		// Resolve fixture-local imports first so the type-checker finds them
+		// already loaded.
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if _, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(path))); err == nil {
+					if _, err := load(path); err != nil {
+						return nil, fmt.Errorf("fixture import %s: %v", path, err)
+					}
+				}
+			}
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: &progImporter{prog: prog, exp: exp}}
+		tpkg, err := conf.Check(name, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking fixture %s: %v", name, err)
+		}
+		p := &Package{Path: name, Pkg: tpkg, Info: info, Files: files}
+		prog.Packages[name] = p
+		return p, nil
+	}
+	for _, name := range names {
+		if _, err := load(name); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}

@@ -1,0 +1,222 @@
+// Package markrelease defines the fmmvet analyzer that checks workspace
+// arena Mark/Release pairing.
+//
+// internal/workspace arenas are bump allocators: Mark snapshots the
+// watermark, Release rolls back to it. A Mark that is never Released leaks
+// the recursion level's scratch for the lifetime of the arena — the exact
+// bug class the arena was built to eliminate. The analyzer checks, per
+// function, that every value obtained from a Mark() method either reaches a
+// Release(...) call (directly or via defer) or escapes the function (is
+// returned, stored, or passed elsewhere — ownership transferred, tracked by
+// the new owner). Discarding a mark (`_ = a.Mark()` or a bare call
+// statement) is always a violation.
+//
+// A "Mark method" is any niladic method whose single result is a named type
+// called Mark; "Release" is any method taking such a value. This keys the
+// analyzer on the workspace API shape rather than its import path, so
+// fixtures and future arena variants are covered alike.
+package markrelease
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fastmm/internal/analysis/directive"
+	"fastmm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "markrelease",
+	Doc:  "every workspace Mark must be Released or handed off",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	idx := directive.Parse(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if directive.FuncHas(directive.Allow, fd) {
+				continue
+			}
+			checkFunc(pass, idx, fd)
+		}
+	}
+	return nil
+}
+
+type markUse struct {
+	pos      ast.Expr // the Mark() call
+	released bool
+	escaped  bool
+}
+
+func checkFunc(pass *framework.Pass, idx *directive.Index, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: find marks. Tracked marks are `m := a.Mark()` bindings; a
+	// discarded result (`_ =` or a bare expression statement) is reported
+	// immediately.
+	marks := map[*types.Var]*markUse{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !isMarkCall(info, call) {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored into a field/index: ownership escapes
+			}
+			if id.Name == "_" {
+				report(pass, idx, call)
+				return true
+			}
+			var v *types.Var
+			if def, ok := info.Defs[id].(*types.Var); ok {
+				v = def
+			} else if use, ok := info.Uses[id].(*types.Var); ok {
+				v = use
+			}
+			if v != nil {
+				marks[v] = &markUse{pos: call}
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isMarkCall(info, call) {
+				report(pass, idx, call)
+			}
+		}
+		return true
+	})
+	if len(marks) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each mark variable. An appearance
+	// as a Release argument satisfies the pair; any other appearance hands
+	// the mark off (returned, stored, passed to a helper) and ends local
+	// tracking — except `_ = m`, the idiom for silencing the compiler on an
+	// unused variable, which is exactly the leak this analyzer exists for.
+	blanked := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return true
+		}
+		if lhs, ok := st.Lhs[0].(*ast.Ident); ok && lhs.Name == "_" {
+			if rhs, ok := ast.Unparen(st.Rhs[0]).(*ast.Ident); ok {
+				blanked[rhs] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && isReleaseCall(info, call) {
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if m := marks[varOf(info, id)]; m != nil {
+						m.released = true
+					}
+				}
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && !blanked[id] {
+			if m := marks[varOf(info, id)]; m != nil && !isDef(info, id) {
+				m.escaped = true
+			}
+		}
+		return true
+	})
+	// The walk also descends into Release calls and marks their argument
+	// idents escaped; released is checked first, so released wins.
+	for _, m := range marks {
+		if m.released || m.escaped {
+			continue
+		}
+		report(pass, idx, m.pos.(*ast.CallExpr))
+	}
+}
+
+func report(pass *framework.Pass, idx *directive.Index, call *ast.CallExpr) {
+	if idx.LineHas(directive.Allow, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "arena mark is never released: pair Mark with Release (usually `defer a.Release(m)`)")
+}
+
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isDef(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Defs[id]
+	return ok
+}
+
+// isMarkCall reports whether call invokes a niladic method named Mark whose
+// single result is a named type called Mark.
+func isMarkCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calledMethod(info, call)
+	if fn == nil || fn.Name() != "Mark" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isMarkType(sig.Results().At(0).Type())
+}
+
+// isReleaseCall reports whether call invokes a method named Release taking a
+// Mark-typed parameter.
+func isReleaseCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calledMethod(info, call)
+	if fn == nil || fn.Name() != "Release" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isMarkType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMarkType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Mark"
+}
+
+func calledMethod(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}

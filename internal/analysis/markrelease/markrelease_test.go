@@ -1,0 +1,12 @@
+package markrelease_test
+
+import (
+	"testing"
+
+	"fastmm/internal/analysis/framework/analysistest"
+	"fastmm/internal/analysis/markrelease"
+)
+
+func TestMarkrelease(t *testing.T) {
+	analysistest.Run(t, "testdata/src", markrelease.Analyzer, "marks")
+}

@@ -1,0 +1,50 @@
+// Package marks exercises the markrelease analyzer against a miniature of
+// the workspace arena API.
+package marks
+
+type Mark struct{ off int }
+
+type Arena struct{ used int }
+
+func (a *Arena) Mark() Mark     { return Mark{a.used} }
+func (a *Arena) Release(m Mark) { a.used = m.off }
+
+func good(a *Arena) {
+	m := a.Mark()
+	defer a.Release(m)
+	a.used++
+}
+
+func goodInline(a *Arena) {
+	m := a.Mark()
+	a.used++
+	a.Release(m)
+}
+
+func leak(a *Arena) {
+	m := a.Mark() // want `arena mark is never released`
+	_ = m
+}
+
+func discard(a *Arena) {
+	_ = a.Mark() // want `arena mark is never released`
+	a.Mark()     // want `arena mark is never released`
+}
+
+// handoff transfers ownership to the caller; the new owner releases.
+func handoff(a *Arena) Mark {
+	m := a.Mark()
+	return m
+}
+
+func waivedLine(a *Arena) {
+	m := a.Mark() //fastmm:allow long-lived mark, rolled back by Close
+	_ = m
+}
+
+// waivedFunc opts the whole function out.
+//
+//fastmm:allow fixture helper, leaks by design
+func waivedFunc(a *Arena) {
+	_ = a.Mark()
+}

@@ -1,0 +1,81 @@
+// Package sentinelerr defines the fmmvet analyzer that keeps sentinel-error
+// comparisons on errors.Is.
+//
+// The repository exports sentinel errors across package boundaries
+// (batch.ErrQueueFull, batch.ErrDeadlineExceeded, gemm.ErrNoBackend) and
+// wraps them with fmt.Errorf("%w") at several layers. A caller comparing with
+// == breaks silently the day a wrapping layer is inserted between it and the
+// producer. Outside the defining package, sentinel errors must be matched
+// with errors.Is; == and != against a foreign package-level error variable
+// are violations. Comparisons against nil, comparisons inside the defining
+// package (which controls its own wrapping), and //fastmm:allow-annotated
+// lines are exempt.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fastmm/internal/analysis/directive"
+	"fastmm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "compare foreign sentinel errors with errors.Is, never == or !=",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	idx := directive.Parse(pass.Fset, pass.Files)
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			enclosing, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				for _, operand := range []ast.Expr{be.X, be.Y} {
+					v := packageLevelVar(pass.TypesInfo, operand)
+					if v == nil || v.Pkg() == pass.Pkg {
+						continue
+					}
+					if !types.Implements(v.Type(), errIface) {
+						continue
+					}
+					if idx.LineHas(directive.Allow, be.Pos()) || directive.FuncHas(directive.Allow, enclosing) {
+						continue
+					}
+					pass.Reportf(be.Pos(), "sentinel error %s.%s compared with %s: use errors.Is, which also matches wrapped errors", v.Pkg().Name(), v.Name(), be.Op)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// packageLevelVar resolves e to a package-level variable, the shape of a
+// sentinel error (var ErrX = errors.New(...)).
+func packageLevelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.IsField() {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"fastmm/internal/analysis/framework/analysistest"
+	"fastmm/internal/analysis/sentinelerr"
+)
+
+func TestSentinelerr(t *testing.T) {
+	analysistest.Run(t, "testdata/src", sentinelerr.Analyzer, "errdef", "erruse")
+}

@@ -1,0 +1,13 @@
+// Package errdef defines sentinel errors for the sentinelerr fixtures.
+package errdef
+
+import "errors"
+
+var (
+	ErrGone = errors.New("gone")
+	ErrBusy = errors.New("busy")
+)
+
+// IsGone compares with == inside the defining package, which controls its
+// own wrapping: exempt.
+func IsGone(err error) bool { return err == ErrGone }

@@ -1,0 +1,29 @@
+// Package erruse consumes errdef's sentinels from outside the defining
+// package, where == comparisons are the bug sentinelerr catches.
+package erruse
+
+import (
+	"errors"
+
+	"errdef"
+)
+
+func check(err error) int {
+	if err == errdef.ErrGone { // want `sentinel error errdef.ErrGone compared with ==`
+		return 1
+	}
+	if err != errdef.ErrBusy { // want `sentinel error errdef.ErrBusy compared with !=`
+		return 2
+	}
+	if errors.Is(err, errdef.ErrGone) { // the sanctioned form
+		return 3
+	}
+	if err == nil { // nil checks are not sentinel comparisons
+		return 4
+	}
+	//fastmm:allow identity check is deliberate: a wrapped ErrGone must not match
+	if err == errdef.ErrGone {
+		return 5
+	}
+	return 0
+}

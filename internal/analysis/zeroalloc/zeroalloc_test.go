@@ -1,0 +1,12 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"fastmm/internal/analysis/framework/analysistest"
+	"fastmm/internal/analysis/zeroalloc"
+)
+
+func TestZeroalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src", zeroalloc.Analyzer, "hot")
+}

@@ -1,3 +1,6 @@
+//fastmm:clocked — the whole batch package runs on the injected Clock below;
+// fmmvet's clockcheck rejects raw package-time reads anywhere in it.
+
 package batch
 
 import "time"
@@ -28,11 +31,17 @@ type Timer interface {
 	Stop() bool
 }
 
-// wallClock is the production Clock: plain package time.
+// wallClock is the production Clock: plain package time. These are the
+// package's only sanctioned wall-clock reads.
 type wallClock struct{}
 
-func (wallClock) Now() time.Time                 { return time.Now() }
+//fastmm:wallclock the production Clock implementation
+func (wallClock) Now() time.Time { return time.Now() }
+
+//fastmm:wallclock the production Clock implementation
 func (wallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+//fastmm:wallclock the production Clock implementation
 func (wallClock) AfterFunc(d time.Duration, f func()) Timer {
 	return wallTimer{time.AfterFunc(d, f)}
 }

@@ -35,6 +35,8 @@ type hist struct {
 
 // histBucket maps a duration to its bucket: bits.Len of the microsecond
 // count, clamped into range.
+//
+//fastmm:zeroalloc
 func histBucket(d time.Duration) int {
 	us := uint64(d / time.Microsecond)
 	if us == 0 {
@@ -47,6 +49,10 @@ func histBucket(d time.Duration) int {
 	return i
 }
 
+// observe is on every executed item's completion path: two atomic adds,
+// no allocation.
+//
+//fastmm:zeroalloc
 func (h *hist) observe(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -179,6 +185,8 @@ func newMetrics() *metrics {
 // flops stay the paper's classical-equivalent currency for every op (an AᵗA
 // that beats the symmetric flop bound shows a rate above the gemm curve,
 // exactly like a fast multiply does).
+//
+//fastmm:zeroalloc
 func (m *metrics) recordExec(backend string, o op.Op, mdim, kdim, ndim int, d time.Duration) {
 	if c := m.backends[backend]; c != nil {
 		c.Add(1)

@@ -120,9 +120,10 @@ type taskRing struct {
 	n    int
 }
 
+//fastmm:zeroalloc
 func (r *taskRing) push(t *task) {
 	if r.n == len(r.buf) {
-		grown := make([]*task, max(8, 2*len(r.buf)))
+		grown := make([]*task, max(8, 2*len(r.buf))) //fastmm:allow amortized ring growth, stops at the working depth
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)%len(r.buf)]
 		}
@@ -141,6 +142,7 @@ func (r *taskRing) peek() *task {
 	return r.buf[r.head]
 }
 
+//fastmm:zeroalloc
 func (r *taskRing) pop() *task {
 	t := r.buf[r.head]
 	r.buf[r.head] = nil // release the task to the GC
@@ -189,6 +191,8 @@ func newLaneQueue(capacity int, clock Clock, aging time.Duration) *laneQueue {
 
 // push enqueues t on its lane, blocking while the queue is at capacity.
 // It returns ErrClosed if the queue closed before the item was accepted.
+//
+//fastmm:zeroalloc
 func (q *laneQueue) push(t *task) error {
 	q.mu.Lock()
 	for q.size >= q.capacity && !q.closed {
@@ -218,6 +222,8 @@ func (q *laneQueue) push(t *task) error {
 // lower lanes starve for at most the window under sustained high-priority
 // traffic. ok=false means closed and fully drained — the runner's signal to
 // exit.
+//
+//fastmm:zeroalloc
 func (q *laneQueue) pop() (t *task, ok bool) {
 	q.mu.Lock()
 	for q.size == 0 && !q.closed {
@@ -230,7 +236,7 @@ func (q *laneQueue) pop() (t *task, ok bool) {
 	lane := Lane(-1)
 	aged := false
 	if q.aging > 0 {
-		now := q.clock.Now()
+		now := q.clock.Now() //fastmm:allow injected Clock interface: wallClock in prod, fake in tests
 		var oldest time.Time
 		for _, l := range laneOrder {
 			h := q.lanes[l].peek()

@@ -175,6 +175,7 @@ func parCombine(dst *mat.Dense, coeffs []float64, srcs []*mat.Dense, workers int
 		mat.Combine(dst, coeffs, srcs)
 		return
 	}
+	//fastmm:allow row-slab fan-out; the workers<=1 steady state returned above
 	eachRows(rows, workers, func(lo, n int) {
 		sub := make([]*mat.Dense, len(srcs))
 		for i, s := range srcs {
@@ -191,6 +192,7 @@ func parScale(dst *mat.Dense, alpha float64, src *mat.Dense, workers int) {
 		mat.Scale(dst, alpha, src)
 		return
 	}
+	//fastmm:allow row-slab fan-out; the workers<=1 steady state returned above
 	eachRows(rows, workers, func(lo, n int) {
 		mat.Scale(dst.View(lo, 0, n, dst.Cols()), alpha, src.View(lo, 0, n, src.Cols()))
 	})
@@ -203,6 +205,7 @@ func parAxpy(dst *mat.Dense, alpha float64, src *mat.Dense, workers int) {
 		mat.Axpy(dst, alpha, src)
 		return
 	}
+	//fastmm:allow row-slab fan-out; the workers<=1 steady state returned above
 	eachRows(rows, workers, func(lo, n int) {
 		mat.Axpy(dst.View(lo, 0, n, dst.Cols()), alpha, src.View(lo, 0, n, src.Cols()))
 	})

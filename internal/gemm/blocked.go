@@ -74,6 +74,11 @@ func (bk *blockedBackend) Gemm(C *mat.Dense, alpha float64, A, B *mat.Dense, acc
 	parallelSlabs(C, alpha, A, B, accumulate, workers, bk.mr, bk.nr, bk.gemmSeq)
 }
 
+// gemmSeq is the sequential blocked kernel — the innermost leaf of every
+// multiply. Its packing slabs come from the pool, so steady state allocates
+// nothing; fmmvet holds it (and packA/packB/macroKernel) to that.
+//
+//fastmm:zeroalloc
 func (bk *blockedBackend) gemmSeq(C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool) {
 	m, k, n := A.Rows(), A.Cols(), B.Cols()
 	if m <= naiveMax && n <= naiveMax && k <= naiveMax {
@@ -158,7 +163,7 @@ func (bk *blockedBackend) macroKernel(C *mat.Dense, ic, jc, mb, nb, kb int, ap, 
 			rows := min(mr, mb-ir)
 			apanel := ap[(ir/mr)*mr*kb:]
 			if rows == mr && cols == nr {
-				bk.kern(C, ic+ir, jc+jr, kb, apanel, bpanel)
+				bk.kern(C, ic+ir, jc+jr, kb, apanel, bpanel) //fastmm:allow static micro-kernel func pointer, bound at registry init
 			} else {
 				microKernelEdge(C, ic+ir, jc+jr, rows, cols, kb, mr, nr, apanel, bpanel)
 			}

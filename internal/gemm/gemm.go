@@ -108,6 +108,7 @@ func Dispatch(be Backend, C *mat.Dense, alpha float64, A, B *mat.Dense, accumula
 	if workers < 1 {
 		workers = 1
 	}
+	//fastmm:allow Backend interface dispatch; the registry kernels are vetted via gemmSeq
 	be.Gemm(C, alpha, A, B, accumulate, workers)
 }
 
@@ -137,6 +138,7 @@ func Naive(C, A, B *mat.Dense) {
 
 func checkDims(C, A, B *mat.Dense) {
 	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
+		//fastmm:allow panic-path message construction
 		panic(fmt.Sprintf("gemm: dimension mismatch C %d×%d = A %d×%d · B %d×%d",
 			C.Rows(), C.Cols(), A.Rows(), A.Cols(), B.Rows(), B.Cols()))
 	}

@@ -1,3 +1,6 @@
+//fastmm:clocked — gemm reads the clock only to time traced leaves; the one
+// sanctioned site is DispatchTraced below.
+
 package gemm
 
 import (
@@ -17,7 +20,7 @@ func TraceLeaf(tr *trace.Spans, be Backend, m, k, n int, d time.Duration) {
 	}
 	tr.Add(trace.Span{
 		Kind:    trace.KindLeaf,
-		Backend: be.Name(),
+		Backend: be.Name(), //fastmm:allow interface read of the static registry name
 		M:       int32(m),
 		K:       int32(k),
 		N:       int32(n),
@@ -29,6 +32,8 @@ func TraceLeaf(tr *trace.Spans, be Backend, m, k, n int, d time.Duration) {
 // — the hook the recursive core and the classical baseline thread a
 // request's trace sink through. With a nil sink it is exactly Dispatch plus
 // one pointer check (no clock reads).
+//
+//fastmm:wallclock leaf timing is the span payload; monotonic Now/Since only
 func DispatchTraced(be Backend, C *mat.Dense, alpha float64, A, B *mat.Dense, accumulate bool, workers int, tr *trace.Spans) {
 	if tr == nil {
 		Dispatch(be, C, alpha, A, B, accumulate, workers)

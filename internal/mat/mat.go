@@ -97,6 +97,7 @@ func (m *Dense) View(i, j, r, c int) *Dense {
 // (internal/workspace) to stamp matrices onto preallocated headers.
 func (m *Dense) Reset(r, c int, data []float64) {
 	if r < 0 || c < 0 || len(data) != r*c {
+		//fastmm:allow panic-path message construction
 		panic(fmt.Sprintf("mat: Reset length %d != %d×%d", len(data), r, c))
 	}
 	m.rows, m.cols, m.stride, m.data = r, c, c, data
@@ -107,6 +108,7 @@ func (m *Dense) Reset(r, c int, data []float64) {
 // previous contents are overwritten.
 func (m *Dense) ViewInto(dst *Dense, i, j, r, c int) {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.rows || j+c > m.cols {
+		//fastmm:allow panic-path message construction
 		panic(fmt.Sprintf("mat: view [%d:%d, %d:%d] out of bounds of %d×%d", i, i+r, j, j+c, m.rows, m.cols))
 	}
 	if r == 0 || c == 0 {
@@ -275,6 +277,7 @@ func Axpy(y *Dense, alpha float64, x *Dense) {
 // and the same length as srcs.
 func Combine(dst *Dense, coeffs []float64, srcs []*Dense) {
 	if len(coeffs) == 0 || len(coeffs) != len(srcs) {
+		//fastmm:allow panic-path message construction
 		panic(fmt.Sprintf("mat: Combine with %d coeffs, %d srcs", len(coeffs), len(srcs)))
 	}
 	for _, s := range srcs {
@@ -339,6 +342,7 @@ func (m *Dense) String() string {
 
 func (m *Dense) mustSameDims(o *Dense, op string) {
 	if m.rows != o.rows || m.cols != o.cols {
+		//fastmm:allow panic-path message construction
 		panic(fmt.Sprintf("mat: %s dimension mismatch %d×%d vs %d×%d", op, m.rows, m.cols, o.rows, o.cols))
 	}
 }

@@ -1,3 +1,6 @@
+//fastmm:clocked — the only clock use is Run's own measurement (waived there);
+// anything else would perturb what the benchmark reports.
+
 // Package stream is a McCalpin-STREAM-style memory bandwidth microbenchmark.
 // Benson & Ballard use STREAM (§4.5) to show that on their node memory
 // bandwidth scales ~5× from 1 to 24 cores while gemm scales ~24×, which makes
@@ -54,6 +57,8 @@ type Result struct {
 
 // Run measures the bandwidth of the kernel over n float64 elements using the
 // given number of goroutines, best of trials.
+//
+//fastmm:wallclock the measured wall time is the benchmark's output
 func Run(k Kernel, n, workers, trials int) Result {
 	if workers < 1 {
 		workers = 1

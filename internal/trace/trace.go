@@ -1,3 +1,6 @@
+//fastmm:clocked — trace stores durations handed to it and never reads the
+// clock itself; the directive is a tripwire against that changing.
+
 // Package trace is the per-request execution-trace layer of the batched
 // dispatcher: where the metrics surface answers "how is the batcher doing in
 // aggregate", a trace record answers "why was THIS request slow" — which
@@ -109,6 +112,10 @@ type Spans struct {
 }
 
 // Add records one span, dropping (but counting) it when the buffer is full.
+// It sits inside every traced multiply's leaf loop: one atomic add and a
+// slot store, never an allocation.
+//
+//fastmm:zeroalloc
 func (b *Spans) Add(sp Span) {
 	if b == nil {
 		return
@@ -243,6 +250,8 @@ func New(cfg Config) *Ring {
 // eventually Publish it. Returns nil when the request is not sampled, the
 // slot is contended (sample dropped, counted in Lost), or the ring is nil.
 // Never blocks, never allocates.
+//
+//fastmm:zeroalloc
 func (r *Ring) Sample() *Record {
 	if r == nil {
 		return nil
@@ -263,6 +272,8 @@ func (r *Ring) Sample() *Record {
 // Publish stamps the record's sequence number and releases its slot, making
 // it visible to Snapshot. rec must have come from Sample; a nil rec is a
 // no-op (the unsampled path).
+//
+//fastmm:zeroalloc
 func (r *Ring) Publish(rec *Record) {
 	if r == nil || rec == nil {
 		return

@@ -54,7 +54,7 @@ func (p *Pool) Put(a *Arena) {
 	a.Reset() // outside the lock: the header/ptr clear is O(retained chunks)
 	p.mu.Lock()
 	p.bytes += b
-	p.free = append(p.free, a)
+	p.free = append(p.free, a) //fastmm:allow pool roster append, bounded by retained arenas
 	p.mu.Unlock()
 }
 

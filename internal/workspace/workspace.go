@@ -71,6 +71,8 @@ type Mark struct {
 }
 
 // New returns an empty arena; chunks are allocated on demand and retained.
+//
+//fastmm:allow arena construction is the amortized cold path
 func New() *Arena {
 	return &Arena{
 		hdrs:  slab[mat.Dense]{chunkLen: headerChunkLen},
@@ -191,7 +193,7 @@ func (a *Arena) Reserve(n int) {
 	if n < minFloatChunk {
 		n = minFloatChunk
 	}
-	a.floats.chunks = append(a.floats.chunks, make([]float64, n))
+	a.floats.chunks = append(a.floats.chunks, make([]float64, n)) //fastmm:allow amortized warm-up chunk, retained across calls
 }
 
 func (f *floatSlab) alloc(n int) []float64 {
@@ -213,7 +215,7 @@ func (f *floatSlab) alloc(n int) []float64 {
 		if n > size {
 			size = n
 		}
-		f.chunks = append(f.chunks, make([]float64, size))
+		f.chunks = append(f.chunks, make([]float64, size)) //fastmm:allow amortized chunk growth, retained across calls
 	}
 }
 
@@ -236,7 +238,7 @@ func (s *slab[T]) alloc(n int) []T {
 		if n > size {
 			size = n
 		}
-		s.chunks = append(s.chunks, make([]T, size))
+		s.chunks = append(s.chunks, make([]T, size)) //fastmm:allow amortized chunk growth, retained across calls
 	}
 }
 
