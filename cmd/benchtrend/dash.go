@@ -27,6 +27,8 @@ func gatePolicy(name string) (gate bool, absSlack float64) {
 		return true, 1
 	case strings.HasPrefix(name, "ata-vs-multiply "):
 		return true, 0.35
+	case strings.HasPrefix(name, "fused-vs-explicit "):
+		return true, 0.35
 	case name == "lane high-latency ratio":
 		return true, 0.25
 	}

@@ -331,6 +331,34 @@ func extract(r report) map[string]metric {
 						metric{value: a / m, absSlack: 0.35, gate: true}
 				}
 			}
+		case "fused":
+			// Points come in (fused, explicit) pairs per shape; the gating
+			// metric is the within-run time ratio fused/explicit, which
+			// cancels runner speed. The acceptance bar is fused ≥ explicit
+			// on the sequential panel family, i.e. ratio ≤ 1 — a regression
+			// means the fused engine's pack/epilogue overhead has crept back
+			// above the traffic it deletes.
+			type shape struct{ p, q, r int }
+			fusedSecs, explicitSecs := map[shape]float64{}, map[shape]float64{}
+			for _, pt := range run.Points {
+				s := shape{pt.P, pt.Q, pt.R}
+				switch pt.Series {
+				case "fused":
+					fusedSecs[s] = pt.Seconds
+				case "explicit":
+					explicitSecs[s] = pt.Seconds
+				}
+			}
+			// Same 0.35 absolute slack as ata-vs-multiply: smoke sizes are
+			// tiny and the ratio wanders with runner noise; a real epilogue
+			// regression (say, a scatter falling off its direct-to-C path)
+			// moves it by 0.5 or more.
+			for s, f := range fusedSecs {
+				if e := explicitSecs[s]; f > 0 && e > 0 {
+					out[fmt.Sprintf("fused-vs-explicit %dx%dx%d", s.p, s.q, s.r)] =
+						metric{value: f / e, absSlack: 0.35, gate: true}
+				}
+			}
 		case "batch":
 			// One cell per (shape, batch size); series distinguish styles.
 			type cell struct{ p, q, r, x int }

@@ -30,6 +30,10 @@ func laneReport(autoSecs, allocs, batcherSecs, laneHighSecs float64) report {
 		{ID: "allocs", Points: []bench.Point{
 			{Series: "dfs", X: 512, Allocs: allocs},
 		}},
+		{ID: "fused", Points: []bench.Point{
+			{Series: "fused", P: 1024, Q: 512, R: 1024, X: 1024, Seconds: 0.9},
+			{Series: "explicit", P: 1024, Q: 512, R: 1024, X: 1024, Seconds: 1.0},
+		}},
 		{ID: "batch", Points: []bench.Point{
 			{Series: "batcher", P: 384, Q: 384, R: 384, X: 64, Seconds: batcherSecs, Allocs: 3},
 			{Series: "auto-loop", P: 384, Q: 384, R: 384, X: 64, Seconds: 2.0},
@@ -50,6 +54,9 @@ func TestExtract(t *testing.T) {
 	}
 	if got := m["allocs/op dfs"]; got.value != 1 || !got.gate {
 		t.Fatalf("allocs metric = %+v", got)
+	}
+	if got := m["fused-vs-explicit 1024x512x1024"]; math.Abs(got.value-0.9) > 1e-12 || !got.gate {
+		t.Fatalf("fused-vs-explicit metric = %+v", got)
 	}
 	if got := m["batch speedup 384x384x384 b64"]; got.value != 2.0 || got.gate {
 		t.Fatalf("batch speedup must be informational: %+v", got)

@@ -88,3 +88,38 @@ func Box(x int) any {
 func Str(b []byte) string {
 	return string(b) // want `to string conversion allocates`
 }
+
+// The fused-engine shape: a multi-source packing loop over preallocated
+// operand lists writing scaled sums into a packed panel, then an epilogue
+// dispatched through an interface whose call site carries an inline waiver.
+// The pack loop itself must prove clean — no findings.
+
+type operand struct {
+	src   []float64
+	coeff float64
+}
+
+type epilogue interface {
+	scatter(dst []float64, w float64)
+}
+
+//fastmm:zeroalloc
+func PackFused(dst []float64, ops []operand, ep epilogue) {
+	for i, o := range ops {
+		if i == 0 {
+			for j := range dst {
+				dst[j] = o.coeff * o.src[j]
+			}
+			continue
+		}
+		for j := range dst {
+			dst[j] += o.coeff * o.src[j]
+		}
+	}
+	ep.scatter(dst, 0.5) //fastmm:allow epilogue interface dispatch; implementations are vetted separately
+}
+
+//fastmm:zeroalloc
+func PackFusedUnwaived(dst []float64, ep epilogue) {
+	ep.scatter(dst, 1) // want `dynamic call: cannot prove the target allocation-free`
+}

@@ -1003,10 +1003,16 @@ func (b *Batcher) buildEntry(key entryKey, ch chan struct{}) (*warmEntry, error)
 	e := &warmEntry{key: key, te: te, tokens: tokens}
 	cm, ck, cn := key.class.Dims()
 	class := fmt.Sprintf("%dx%dx%d", cm, ck, cn)
+	backend := te.Plan().Backend
+	if te.Plan().Fused {
+		// Fused plans run a different leaf engine on the same backend; mark
+		// them so profiles separate the two hot paths.
+		backend += "+fused"
+	}
 	for l := Lane(0); l < numLanes; l++ {
 		e.labels[l] = pprof.WithLabels(context.Background(), pprof.Labels(
 			"op", key.op.String(), "lane", l.String(),
-			"class", class, "backend", te.Plan().Backend))
+			"class", class, "backend", backend))
 	}
 	e.elem = b.lru.PushFront(e)
 	b.entries[key] = e

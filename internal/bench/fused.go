@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"fastmm/internal/catalog"
+	"fastmm/internal/core"
+	"fastmm/internal/gemm"
+)
+
+func init() {
+	registerExperiment("fused", "fused-operand engine: fused vs explicit S/T/M at the same plan", runFused)
+}
+
+// runFused measures the fused-engine claim head to head: the same algorithm,
+// depth, scheduler, and worker count run once through the explicit S/T/M path
+// and once with the last level fused into the blocked kernel's packing and
+// scatter-add epilogue. Two shape families:
+//
+//   - square NxNxN at the configured worker count: balanced traffic, shows the
+//     workspace savings at rough throughput parity;
+//   - panel NxKxN (small inner dimension) run sequentially: the S/T/M
+//     temporaries and the C combine dominate the arithmetic, so deleting them
+//     is a straight traffic win — and one worker isolates that claim from
+//     scheduler variance, which on shared runners would drown a ~10% signal.
+//     This is the family benchtrend gates.
+//
+// The report carries each plan's predicted workspace bytes — the fused column
+// must come in strictly lower.
+func runFused(cfg Config) ([]Point, error) {
+	w := cfg.Out
+
+	k0 := cfg.scaled(512)
+	squareSizes := cfg.sizes([]int{512, 1024, 2048})
+	panelSizes := cfg.sizes([]int{1024, 2048})
+	squareSteps, panelSteps := 2, 1
+	if cfg.Quick {
+		k0 = 64
+		squareSteps = 1
+		squareSizes = []int{256}
+		panelSizes = []int{256}
+	}
+
+	type family struct {
+		name    string
+		shape   func(int) (int, int, int) // swept n → (p, q, r)
+		sizes   []int
+		steps   int
+		workers int
+		gated   bool
+	}
+	families := []family{
+		{"square NxNxN", func(n int) (int, int, int) { return n, n, n }, squareSizes, squareSteps, cfg.Workers, false},
+		{"panel NxKxN", func(n int) (int, int, int) { return n, k0, n }, panelSizes, panelSteps, 1, true},
+	}
+
+	a := catalog.MustGet("strassen")
+	if !gemm.CanFuse(gemm.Default()) {
+		fmt.Fprintln(w, "\nfused engine: default backend cannot fuse; experiment skipped")
+		return nil, nil
+	}
+
+	fmt.Fprintln(w, "\nfused-operand engine: fused vs explicit at the same strassen plan")
+
+	var all []Point
+	for _, fam := range families {
+		mode := core.DFS
+		if fam.workers <= 1 {
+			mode = core.Sequential
+		}
+		fmt.Fprintf(w, "  %s: s%d %v, %d worker(s)\n", fam.name, fam.steps, mode, fam.workers)
+		var pts []Point
+		for _, n := range fam.sizes {
+			p, q, r := fam.shape(n)
+			opts := core.Options{Resources: core.Resources{Workers: fam.workers}, Steps: fam.steps, Parallel: mode}
+			explicit, err := core.New(a, opts)
+			if err != nil {
+				return nil, err
+			}
+			opts.Fused = true
+			fused, err := core.New(a, opts)
+			if err != nil {
+				return nil, err
+			}
+			A, B, C := operands(p, q, r)
+			// Warm both executors' arenas; first-touch growth is not
+			// steady-state throughput.
+			if err := fused.Multiply(C, A, B); err != nil {
+				return nil, err
+			}
+			if err := explicit.Multiply(C, A, B); err != nil {
+				return nil, err
+			}
+
+			fusedSecs := medianTime(cfg.Trials, func() {
+				if err := fused.Multiply(C, A, B); err != nil {
+					panic(err)
+				}
+			})
+			explicitSecs := medianTime(cfg.Trials, func() {
+				if err := explicit.Multiply(C, A, B); err != nil {
+					panic(err)
+				}
+			})
+
+			fws := fused.WorkspaceBytes(p, q, r)
+			ews := explicit.WorkspaceBytes(p, q, r)
+			for _, s := range []struct {
+				series string
+				secs   float64
+			}{
+				{"fused", fusedSecs},
+				{"explicit", explicitSecs},
+			} {
+				eff := effective(p, q, r, s.secs)
+				pts = append(pts, Point{Series: s.series, X: n, P: p, Q: q, R: r,
+					Workers: fam.workers, Seconds: s.secs, Eff: eff, EffCore: eff / float64(fam.workers)})
+			}
+			fmt.Fprintf(w, "  %-13s n=%-5d fused %.2fx of explicit, workspace %s vs %s (%.0f%% saved)\n",
+				fam.name, n, explicitSecs/fusedSecs, fmtBytes(fws), fmtBytes(ews),
+				100*(1-float64(fws)/float64(ews)))
+		}
+		table(w, fmt.Sprintf("fused engine, %s, effective GFLOPS", fam.name), "eff", pts)
+		all = append(all, pts...)
+	}
+	fmt.Fprintln(w, "  acceptance bar: fused ≥ explicit on the sequential panel family; fused workspace strictly lower everywhere")
+	return all, nil
+}
+
+// fmtBytes renders a byte count in the nearest binary unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

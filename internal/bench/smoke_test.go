@@ -26,5 +26,6 @@ func BenchmarkSmokeAuto(b *testing.B)       { runSmoke(b, "auto") }
 func BenchmarkSmokeBatch(b *testing.B)      { runSmoke(b, "batch") }
 func BenchmarkSmokeBackends(b *testing.B)   { runSmoke(b, "backends") }
 func BenchmarkSmokeStructured(b *testing.B) { runSmoke(b, "structured") }
+func BenchmarkSmokeFused(b *testing.B)      { runSmoke(b, "fused") }
 func BenchmarkSmokeFig4(b *testing.B)       { runSmoke(b, "fig4") }
 func BenchmarkSmokeFig5(b *testing.B)       { runSmoke(b, "fig5") }

@@ -108,6 +108,16 @@ type Options struct {
 	// or "" for gemm.Default(). The autotuner sets it per plan; unknown
 	// names fail executor construction.
 	Backend string
+	// Fused runs the last recursion level through the fused blocked engine
+	// (gemm.DispatchFused) when the backend supports it: the S_r/T_r linear
+	// combinations fold into the leaf's packing pass and the M_r products
+	// scatter-add straight into the C blocks through the micro-kernel
+	// epilogue, so that level materializes no S/T/M temporaries at all
+	// (Huang et al., arXiv:1611.01120). Workspace accounting and the
+	// Workspace cap see the reduced footprint. On a backend without fused
+	// support (gemm.CanFuse false — the blas bridge) the option is ignored
+	// and the explicit path runs exactly as before.
+	Fused bool
 	// Stats, when non-nil, accumulates scheduler counters across Multiply
 	// calls (atomic; safe under all schedulers). Used by tests and by the
 	// tracing output of cmd/fmmbench to validate §4's scheduling shapes.
@@ -119,6 +129,7 @@ type Options struct {
 // peeling fixups executed, and how many task goroutines were spawned.
 type Stats struct {
 	LeafCalls      int64
+	FusedCalls     int64 // fused leaf products (gemm.DispatchFused calls)
 	DeferredLeaves int64
 	FixupCalls     int64
 	TasksSpawned   int64
@@ -127,6 +138,7 @@ type Stats struct {
 // Reset zeroes the counters.
 func (s *Stats) Reset() {
 	atomic.StoreInt64(&s.LeafCalls, 0)
+	atomic.StoreInt64(&s.FusedCalls, 0)
 	atomic.StoreInt64(&s.DeferredLeaves, 0)
 	atomic.StoreInt64(&s.FixupCalls, 0)
 	atomic.StoreInt64(&s.TasksSpawned, 0)
@@ -136,6 +148,7 @@ func (s *Stats) Reset() {
 func (s *Stats) Snapshot() Stats {
 	return Stats{
 		LeafCalls:      atomic.LoadInt64(&s.LeafCalls),
+		FusedCalls:     atomic.LoadInt64(&s.FusedCalls),
 		DeferredLeaves: atomic.LoadInt64(&s.DeferredLeaves),
 		FixupCalls:     atomic.LoadInt64(&s.FixupCalls),
 		TasksSpawned:   atomic.LoadInt64(&s.TasksSpawned),
@@ -174,7 +187,9 @@ type levelPlan struct {
 type Executor struct {
 	schedule []levelPlan
 	opts     Options
-	be       gemm.Backend // resolved from opts.Backend at construction
+	be       gemm.Backend      // resolved from opts.Backend at construction
+	fbe      gemm.FusedBackend // non-nil iff opts.Fused and the backend can fuse
+	fplans   []fusedPlan       // per schedule level, set iff fbe != nil
 	arenas   workspace.Pool
 }
 
@@ -241,8 +256,20 @@ func newSchedule(algs []*algo.Algorithm, opts Options, verify bool) (*Executor, 
 		}
 		e.schedule = append(e.schedule, lp)
 	}
+	if opts.Fused {
+		if fb, ok := be.(gemm.FusedBackend); ok {
+			e.fbe = fb
+			for _, lp := range e.schedule {
+				e.fplans = append(e.fplans, buildFusedPlan(lp))
+			}
+		}
+	}
 	return e, nil
 }
+
+// Fused reports whether the executor actually runs the fused leaf engine —
+// Options.Fused on a backend that supports it.
+func (e *Executor) Fused() bool { return e.fbe != nil }
 
 // Opts returns the executor's resolved options.
 func (e *Executor) Opts() Options { return e.opts }
@@ -304,11 +331,11 @@ func (e *Executor) MultiplyTrace(C, A, B *mat.Dense, tr *trace.Spans) error {
 	if mode != Hybrid {
 		// Only HYBRID needs the deferred-leaf pump of ctx.root; calling
 		// multiply directly keeps the hot path free of closure allocations.
-		e.multiply(ctx, ar, C, A, B, 1, 0, 0)
+		e.multiply(ctx, ar, C, A, B, 1, 0, 0, false)
 	} else {
 		//fastmm:allow HYBRID spawn path; DFS steady state takes the branch above
 		ctx.root(func() {
-			e.multiply(ctx, ar, C, A, B, 1, 0, 0)
+			e.multiply(ctx, ar, C, A, B, 1, 0, 0, false)
 		})
 	}
 	return nil
@@ -365,6 +392,13 @@ func (e *Executor) workspaceFloats(mode Parallel, p, q, r, level int) int64 {
 	b := lp.alg.Base
 	R := int64(lp.alg.Rank())
 	bm, bk, bn := p/b.M, q/b.K, r/b.N // peeling-core block dims
+	if e.fbe != nil && !e.shouldRecurse(level+1, bm, bk, bn) {
+		// The fused level materializes no S/T/M temporaries at all: operand
+		// sums form inside the leaf's packing pass and products scatter-add
+		// straight into C. Only view headers and Scaled scratch remain —
+		// small change the model does not meter, like the per-task scratch.
+		return 0
+	}
 	sUnit, tUnit := int64(bm*bk), int64(bk*bn)
 	auxS, auxT := int64(len(lp.splan.Aux)), int64(len(lp.tplan.Aux))
 	matS, matT := int64(materializedOutputs(lp.splan)), int64(materializedOutputs(lp.tplan))
@@ -452,13 +486,15 @@ func (e *Executor) shouldRecurse(level int, p, q, r int) bool {
 	return p/b.M >= e.opts.MinDim && q/b.K >= e.opts.MinDim && r/b.N >= e.opts.MinDim
 }
 
-// multiply computes C = alpha·A·B recursively within arena ar (owned by the
-// calling goroutine). leafBase locates this subtree's first leaf in the
-// global preorder numbering (HYBRID bookkeeping).
-func (e *Executor) multiply(ctx *runContext, ar *workspace.Arena, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
+// multiply computes C (+)= alpha·A·B recursively within arena ar (owned by
+// the calling goroutine). leafBase locates this subtree's first leaf in the
+// global preorder numbering (HYBRID bookkeeping). acc selects accumulation
+// into C (MultiplyAdd's beta path) — it reaches the leaves and the combine
+// epilogue, so no product temporary is ever materialized for it.
+func (e *Executor) multiply(ctx *runContext, ar *workspace.Arena, C, A, B *mat.Dense, alpha float64, level, leafBase int, acc bool) {
 	p, q, r := A.Rows(), A.Cols(), B.Cols()
 	if !e.shouldRecurse(level, p, q, r) {
-		e.leafMultiply(ctx, C, A, B, alpha, level, leafBase)
+		e.leafMultiply(ctx, C, A, B, alpha, level, leafBase, acc)
 		return
 	}
 	lp := e.schedule[level%len(e.schedule)]
@@ -470,10 +506,12 @@ func (e *Executor) multiply(ctx *runContext, ar *workspace.Arena, C, A, B *mat.D
 	a11 := ar.View(A, 0, 0, pc, qc)
 	b11 := ar.View(B, 0, 0, qc, rc)
 	c11 := ar.View(C, 0, 0, pc, rc)
-	e.fastStep(ctx, ar, lp, c11, a11, b11, alpha, level, leafBase)
+	e.fastStep(ctx, ar, lp, c11, a11, b11, alpha, level, leafBase, acc)
 
 	// The fixup closures run on this goroutine (directly, or inside its
-	// bounded-compute section), so the views can come from this arena.
+	// bounded-compute section), so the views can come from this arena. The
+	// first write into each region honors acc; later contributions always
+	// accumulate.
 	if qc < q { // C11 += A12·B21
 		e.countFixup()
 		//fastmm:allow dynamic-peeling fixup, off the uniform steady-state path
@@ -481,22 +519,22 @@ func (e *Executor) multiply(ctx *runContext, ar *workspace.Arena, C, A, B *mat.D
 			gemm.Dispatch(e.be, c11, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, 0, q-qc, rc), true, w)
 		})
 	}
-	if rc < r { // C12 = A11·B12 + A12·B22
+	if rc < r { // C12 (+)= A11·B12 + A12·B22
 		e.countFixup()
 		//fastmm:allow dynamic-peeling fixup, off the uniform steady-state path
 		ctx.fixup(level, func(w int) {
 			c12 := ar.View(C, 0, rc, pc, r-rc)
-			gemm.Dispatch(e.be, c12, alpha, ar.View(A, 0, 0, pc, qc), ar.View(B, 0, rc, qc, r-rc), false, w)
+			gemm.Dispatch(e.be, c12, alpha, ar.View(A, 0, 0, pc, qc), ar.View(B, 0, rc, qc, r-rc), acc, w)
 			if qc < q {
 				gemm.Dispatch(e.be, c12, alpha, ar.View(A, 0, qc, pc, q-qc), ar.View(B, qc, rc, q-qc, r-rc), true, w)
 			}
 		})
 	}
-	if pc < p { // [C21 C22] = A2·B (full-width bottom strip)
+	if pc < p { // [C21 C22] (+)= A2·B (full-width bottom strip)
 		e.countFixup()
 		//fastmm:allow dynamic-peeling fixup, off the uniform steady-state path
 		ctx.fixup(level, func(w int) {
-			gemm.Dispatch(e.be, ar.View(C, pc, 0, p-pc, r), alpha, ar.View(A, pc, 0, p-pc, q), B, false, w)
+			gemm.Dispatch(e.be, ar.View(C, pc, 0, p-pc, r), alpha, ar.View(A, pc, 0, p-pc, q), B, acc, w)
 		})
 	}
 }
@@ -505,29 +543,29 @@ func (e *Executor) multiply(ctx *runContext, ar *workspace.Arena, C, A, B *mat.D
 // parallelism depends on the scheduler (§4): DFS leaves use all workers, BFS
 // leaves run sequentially inside their task, HYBRID defers the tail leaves to
 // a second all-worker phase.
-func (e *Executor) leafMultiply(ctx *runContext, C, A, B *mat.Dense, alpha float64, level, leafIdx int) {
+func (e *Executor) leafMultiply(ctx *runContext, C, A, B *mat.Dense, alpha float64, level, leafIdx int, acc bool) {
 	if s := e.opts.Stats; s != nil {
 		s.add(&s.LeafCalls, 1)
 	}
 	switch ctx.mode {
 	case Sequential:
-		gemm.DispatchTraced(e.be, C, alpha, A, B, false, 1, ctx.tr)
+		gemm.DispatchTraced(e.be, C, alpha, A, B, acc, 1, ctx.tr)
 	case DFS:
-		gemm.DispatchTraced(e.be, C, alpha, A, B, false, ctx.workers, ctx.tr)
+		gemm.DispatchTraced(e.be, C, alpha, A, B, acc, ctx.workers, ctx.tr)
 	case BFS:
 		//fastmm:allow BFS task body; per-task captures are the spawn cost
-		ctx.compute(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, false, 1, ctx.tr) })
+		ctx.compute(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, acc, 1, ctx.tr) })
 	case Hybrid:
 		if ctx.isDeferredLeaf(leafIdx) {
 			if s := e.opts.Stats; s != nil {
 				s.add(&s.DeferredLeaves, 1)
 			}
 			//fastmm:allow HYBRID deferred-leaf capture, spawn path by design
-			ctx.deferLeaf(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, false, ctx.workers, ctx.tr) })
+			ctx.deferLeaf(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, acc, ctx.workers, ctx.tr) })
 			return
 		}
 		//fastmm:allow HYBRID BFS-phase task body, spawn path by design
-		ctx.compute(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, false, 1, ctx.tr) })
+		ctx.compute(func() { gemm.DispatchTraced(e.be, C, alpha, A, B, acc, 1, ctx.tr) })
 		ctx.leafDone(maxInt(1, e.leavesFrom(level)))
 	}
 }
@@ -560,10 +598,17 @@ func (o operands) at(r int) operand { return operand{m: o.mats[r], alpha: o.alph
 // buffers across siblings while spawned BFS/HYBRID branches draw their own
 // arenas from the executor pool (the M_r stay in the parent's arena — the
 // parent outlives its children and combines their results).
-func (e *Executor) fastStep(ctx *runContext, ar *workspace.Arena, lp levelPlan, C, A, B *mat.Dense, alpha float64, level, leafBase int) {
+func (e *Executor) fastStep(ctx *runContext, ar *workspace.Arena, lp levelPlan, C, A, B *mat.Dense, alpha float64, level, leafBase int, acc bool) {
 	b := lp.alg.Base
 	R := lp.alg.Rank()
 	bm, bk, bn := A.Rows()/b.M, A.Cols()/b.K, B.Cols()/b.N
+
+	if e.fbe != nil && !e.shouldRecurse(level+1, bm, bk, bn) {
+		// One level above the leaf with a fuse-capable backend: skip operand
+		// formation and the M_r products entirely and run the fused engine.
+		e.fusedStep(ctx, ar, lp, C, A, B, alpha, level, acc)
+		return
+	}
 
 	mark := ar.Mark()
 	defer ar.Release(mark)
@@ -616,7 +661,7 @@ func (e *Executor) fastStep(ctx *runContext, ar *workspace.Arena, lp levelPlan, 
 				s = e.formOperand(ctx, ar, lp.splan, r, ablocks, bm, bk, alpha)
 				t = e.formOperand(ctx, ar, lp.tplan, r, bblocks, bk, bn, 1)
 			}
-			e.multiply(ctx, ar, ms[r], s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan)
+			e.multiply(ctx, ar, ms[r], s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan, false)
 			ar.Release(rmark)
 		}
 	}
@@ -629,9 +674,9 @@ func (e *Executor) fastStep(ctx *runContext, ar *workspace.Arena, lp levelPlan, 
 	}
 	if (ctx.mode == BFS || ctx.mode == Hybrid) && !topLevel {
 		//fastmm:allow BFS/HYBRID bounded-compute section; DFS takes the else branch
-		ctx.compute(func() { e.combine(ar, lp.cplan, cblocks, ms, combineWorkers) })
+		ctx.compute(func() { e.combine(ar, lp.cplan, cblocks, ms, combineWorkers, acc) })
 	} else {
-		e.combine(ar, lp.cplan, cblocks, ms, combineWorkers)
+		e.combine(ar, lp.cplan, cblocks, ms, combineWorkers, acc)
 	}
 }
 
@@ -661,7 +706,7 @@ func (e *Executor) fanOut(ctx *runContext, lp levelPlan, sOps, tOps operands, ab
 					t = e.formOperand(ctx, car, lp.tplan, r, bblocks, bk, bn, 1)
 				})
 			}
-			e.multiply(ctx, car, ms[r], s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan)
+			e.multiply(ctx, car, ms[r], s.m, t.m, s.alpha*t.alpha, level+1, leafBase+r*childSpan, false)
 		}(r)
 	}
 	wg.Wait()
@@ -784,10 +829,12 @@ func (e *Executor) nodes(ar *workspace.Arena, plan *addchain.Plan, src []*mat.De
 	return nodes
 }
 
-// combine forms the C blocks from the M_r per the configured strategy.
-func (e *Executor) combine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
+// combine forms the C blocks from the M_r per the configured strategy. With
+// acc the blocks accumulate (C_j += Σ w·M_r) instead of being overwritten —
+// MultiplyAdd's beta path reaching the combine epilogue.
+func (e *Executor) combine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int, acc bool) {
 	if e.opts.Strategy == addchain.Streaming {
-		e.streamCombine(ar, plan, cblocks, ms, workers)
+		e.streamCombine(ar, plan, cblocks, ms, workers, acc)
 		return
 	}
 	mark := ar.Mark()
@@ -795,7 +842,9 @@ func (e *Executor) combine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms
 	for j, ch := range plan.Outputs {
 		dst := cblocks[j]
 		if len(ch.Terms) == 0 {
-			dst.Zero()
+			if !acc {
+				dst.Zero()
+			}
 			continue
 		}
 		coeffs := ar.Floats(len(ch.Terms))
@@ -804,12 +853,17 @@ func (e *Executor) combine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms
 			coeffs[i] = t.Coeff
 			srcs[i] = ms[t.Src]
 		}
-		if e.opts.Strategy == addchain.Pairwise {
+		switch {
+		case acc:
+			for i := range srcs {
+				parAxpy(dst, coeffs[i], srcs[i], workers)
+			}
+		case e.opts.Strategy == addchain.Pairwise:
 			parScale(dst, coeffs[0], srcs[0], workers)
 			for i := 1; i < len(srcs); i++ {
 				parAxpy(dst, coeffs[i], srcs[i], workers)
 			}
-		} else { // WriteOnce
+		default: // WriteOnce
 			parCombine(dst, coeffs, srcs, workers)
 		}
 	}
@@ -817,7 +871,9 @@ func (e *Executor) combine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms
 
 // streamCombine implements the streaming strategy for the output side: walk
 // each M_r once and scatter its contribution into every C block using it.
-func (e *Executor) streamCombine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int) {
+// With acc every contribution accumulates and untouched blocks are left
+// as-is rather than zeroed.
+func (e *Executor) streamCombine(ar *workspace.Arena, plan *addchain.Plan, cblocks, ms []*mat.Dense, workers int, acc bool) {
 	mark := ar.Mark()
 	defer ar.Release(mark)
 	touched := ar.Bools(len(cblocks))
@@ -827,18 +883,20 @@ func (e *Executor) streamCombine(ar *workspace.Arena, plan *addchain.Plan, cbloc
 				if t.Src != r {
 					continue
 				}
-				if !touched[j] {
+				if !touched[j] && !acc {
 					parScale(cblocks[j], t.Coeff, m, workers)
-					touched[j] = true
 				} else {
 					parAxpy(cblocks[j], t.Coeff, m, workers)
 				}
+				touched[j] = true
 			}
 		}
 	}
-	for j := range plan.Outputs {
-		if !touched[j] {
-			cblocks[j].Zero()
+	if !acc {
+		for j := range plan.Outputs {
+			if !touched[j] {
+				cblocks[j].Zero()
+			}
 		}
 	}
 }

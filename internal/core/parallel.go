@@ -198,6 +198,19 @@ func parScale(dst *mat.Dense, alpha float64, src *mat.Dense, workers int) {
 	})
 }
 
+// parZero zeroes dst with the same row-slab policy as the other helpers.
+func parZero(dst *mat.Dense, workers int) {
+	rows := dst.Rows()
+	if workers <= 1 || rows < parRowThreshold {
+		dst.Zero()
+		return
+	}
+	//fastmm:allow row-slab fan-out; the workers<=1 steady state returned above
+	eachRows(rows, workers, func(lo, n int) {
+		dst.View(lo, 0, n, dst.Cols()).Zero()
+	})
+}
+
 // parAxpy is mat.Axpy parallelized over row slabs.
 func parAxpy(dst *mat.Dense, alpha float64, src *mat.Dense, workers int) {
 	rows := dst.Rows()

@@ -114,7 +114,7 @@ func (e *Executor) symRecurse(ctx *runContext, ar *workspace.Arena, C, L, R *mat
 	// M(n/2) term of the recurrence, served by the executor's fast-multiply
 	// recursion (algorithm schedule, peeling, scheduler and all).
 	c21 := ar.View(C, h, 0, p-h, h)
-	e.multiply(ctx, ar, c21, L2, R1, 1, 0, 0)
+	e.multiply(ctx, ar, c21, L2, R1, 1, 0, 0, false)
 	// Mirror epilogue: C12 = C21ᵗ, copied — never recomputed — so the two
 	// triangles agree bit-for-bit.
 	parMirror(ar.View(C, 0, h, h, p-h), c21, ctx.additionWorkers())
@@ -178,9 +178,12 @@ func mirrorInto(dst, src *mat.Dense, lo, hi int) {
 // parTranspose writes dst = srcᵗ with the same parallelization policy.
 func parTranspose(dst, src *mat.Dense, workers int) { parMirror(dst, src, workers) }
 
-// MultiplyAdd computes C += alpha·A·B: the product runs through the normal
-// fast recursion into an arena temporary (alpha piped to the base case, §3.1)
-// and is then accumulated into C in one pass. Dimensions as for Multiply.
+// MultiplyAdd computes C += alpha·A·B. The accumulation rides the recursion
+// all the way to the leaves (alpha piped to the base case, §3.1; the leaf
+// gemm and the combine epilogue run in accumulate mode), so no product-sized
+// temporary is materialized and no separate final-add pass runs — under a
+// fused plan the beta-accumulate happens inside the scatter-add epilogue
+// itself. Dimensions as for Multiply.
 func (e *Executor) MultiplyAdd(C, A, B *mat.Dense, alpha float64) error {
 	if A.Cols() != B.Rows() || C.Rows() != A.Rows() || C.Cols() != B.Cols() {
 		return fmt.Errorf("core: dimension mismatch C %d×%d += A %d×%d · B %d×%d",
@@ -192,19 +195,13 @@ func (e *Executor) MultiplyAdd(C, A, B *mat.Dense, alpha float64) error {
 	ar := e.arenas.Get()
 	defer e.arenas.Put(ar)
 	if mode == Sequential || mode == DFS {
-		ar.Reserve(int(int64(p)*int64(r) + e.workspaceFloats(mode, p, q, r, 0)))
+		ar.Reserve(int(e.workspaceFloats(mode, p, q, r, 0)))
 	}
-	T := ar.Matrix(p, r)
 	if mode != Hybrid {
-		e.multiply(ctx, ar, T, A, B, alpha, 0, 0)
+		e.multiply(ctx, ar, C, A, B, alpha, 0, 0, true)
 	} else {
-		ctx.root(func() { e.multiply(ctx, ar, T, A, B, alpha, 0, 0) })
+		ctx.root(func() { e.multiply(ctx, ar, C, A, B, alpha, 0, 0, true) })
 	}
-	w := 1
-	if mode != Sequential {
-		w = ctx.workers
-	}
-	parAxpy(C, 1, T, w)
 	return nil
 }
 

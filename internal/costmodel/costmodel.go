@@ -42,6 +42,7 @@ type Model struct {
 	alg    *algo.Algorithm
 	strat  addchain.Strategy
 	cse    bool
+	fused  bool
 	splan  *addchain.Plan
 	tplan  *addchain.Plan
 	cplan  *addchain.Plan
@@ -64,10 +65,22 @@ func New(a *algo.Algorithm, strat addchain.Strategy, cse bool) (*Model, error) {
 // the catalog has already verified once; repeating the tensor check per model
 // would dominate the ranking time.
 func NewTrusted(a *algo.Algorithm, strat addchain.Strategy, cse bool) *Model {
+	return NewTrustedFused(a, strat, cse, false)
+}
+
+// NewTrustedFused is NewTrusted with the fused-leaf dimension: when fused is
+// set, the model's last recursion level runs the fused blocked engine — no
+// S/T/M temporaries, operand sums formed inside the packing pass (one extra
+// streaming read per extra source) and products scatter-added into C (one
+// read-modify-write per W term). The memory-traffic and workspace terms of
+// that level shrink accordingly, which is exactly the signal the tuner needs
+// to enumerate Fused as a candidate dimension.
+func NewTrustedFused(a *algo.Algorithm, strat addchain.Strategy, cse, fused bool) *Model {
 	m := &Model{
 		alg:   a,
 		strat: strat,
 		cse:   cse,
+		fused: fused,
 		splan: addchain.FromColumns(a.U),
 		tplan: addchain.FromColumns(a.V),
 		cplan: addchain.FromRows(a.W),
@@ -111,6 +124,10 @@ func (m *Model) eval(p, q, r, steps int) Cost {
 	tElems := float64(q/b.K) * float64(r/b.N)
 	cElems := float64(p/b.M) * float64(r/b.N)
 
+	if m.fused && steps == 1 {
+		return m.evalFusedLevel(child, R, sElems, tElems, cElems)
+	}
+
 	var c Cost
 	c.MulFlops = R * child.MulFlops
 	c.BaseCalls = R * child.BaseCalls
@@ -139,6 +156,41 @@ func (m *Model) eval(p, q, r, steps int) Cost {
 	c.Workspace = R*mElems + stAlive + child.Workspace
 	c.WorkspaceBFS = R*mElems + R*(sElems+tElems) + R*child.WorkspaceBFS
 	return c
+}
+
+// evalFusedLevel is the last recursion level under the fused engine: the
+// addition arithmetic still happens (inside the packers and the scatter-add
+// epilogue), but the only extra memory traffic is one streaming read per
+// extra packing source and one read-modify-write per scatter term — the S/T
+// formation writes, the M materialization, and the C combine's full
+// read-back all disappear, along with the level's entire workspace.
+func (m *Model) evalFusedLevel(child Cost, R, sElems, tElems, cElems float64) Cost {
+	var c Cost
+	c.MulFlops = R * child.MulFlops
+	c.BaseCalls = R * child.BaseCalls
+	c.AddFlops = R*child.AddFlops +
+		float64(m.splan.Additions())*sElems +
+		float64(m.tplan.Additions())*tElems +
+		float64(m.cplan.Additions())*cElems
+	sTerms, tTerms, cTerms := totalTerms(m.splan), totalTerms(m.tplan), totalTerms(m.cplan)
+	c.Reads = R*child.Reads +
+		(sTerms-R)*sElems + (tTerms-R)*tElems + // extra pack sources beyond the one gemm reads anyway
+		cTerms*cElems // scatter-add reads each destination tile
+	c.Writes = R*child.Writes + cTerms*cElems // scatter-add writes each destination tile
+	c.Workspace = child.Workspace
+	c.WorkspaceBFS = R * child.WorkspaceBFS
+	return c
+}
+
+// totalTerms counts the source terms across a plan's outputs (aux expansion
+// ignored: the fused executor expands CSE temporaries back to sources, and
+// real catalog plans change term counts only marginally under CSE).
+func totalTerms(p *addchain.Plan) float64 {
+	n := 0
+	for _, ch := range p.Outputs {
+		n += len(ch.Terms)
+	}
+	return float64(n)
 }
 
 func auxElems(p *addchain.Plan) float64 { return float64(len(p.Aux)) }

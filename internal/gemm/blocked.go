@@ -53,14 +53,25 @@ func newBlocked(name string, accel bool, mr, nr int, kern microKernelFunc) *bloc
 	// allocation-free — storing a []float64 in the pool's `any` would box a
 	// fresh slice header on every Put.
 	bk.pool.New = func() any {
-		return &packBufs{a: make([]float64, bk.apLen), b: make([]float64, bk.bpLen)}
+		return &packBufs{
+			a:    make([]float64, bk.apLen),
+			b:    make([]float64, bk.bpLen),
+			tile: mat.New(maxMR, maxNR),
+			sS:   &mat.Dense{}, sT: &mat.Dense{}, sP: &mat.Dense{},
+		}
 	}
 	return bk
 }
 
-// packBufs is one worker's packing slab: the A and B panel buffers together,
-// so a gemm call costs a single pool round-trip.
-type packBufs struct{ a, b []float64 }
+// packBufs is one worker's packing slab: the A and B panel buffers together
+// (one pool round-trip per gemm call), plus the fused path's scratch — the
+// micro-tile the kernel computes into before the scatter-add epilogue, and
+// three matrix headers the small path stamps over the slabs.
+type packBufs struct {
+	a, b       []float64
+	tile       *mat.Dense
+	sS, sT, sP *mat.Dense
+}
 
 func (bk *blockedBackend) Name() string               { return bk.name }
 func (bk *blockedBackend) Accelerated() bool          { return bk.accel }

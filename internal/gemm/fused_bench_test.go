@@ -1,0 +1,51 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmm/internal/mat"
+)
+
+// Leaf-level microbenchmarks isolating the fused engine from the executor:
+// one rank-r product with two sources per side and two destinations, fused
+// versus the explicit materialize-S/T, gemm, scatter sequence it replaces.
+// This is the unit the whole-plan `fused` bench experiment is built from;
+// when that experiment's ratio moves, these localize whether the pack, the
+// kernel path, or the epilogue regressed.
+
+func fusedBenchOperands(m, k, n int) (dsts, asrcs, bsrcs []Scaled) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(r, c int) *mat.Dense { d := mat.New(r, c); d.FillRandom(rng); return d }
+	asrcs = []Scaled{{M: mk(m, k), Coeff: 1}, {M: mk(m, k), Coeff: 1}}
+	bsrcs = []Scaled{{M: mk(k, n), Coeff: 1}, {M: mk(k, n), Coeff: -1}}
+	dsts = []Scaled{{M: mat.New(m, n), Coeff: 1}, {M: mat.New(m, n), Coeff: -1}}
+	return dsts, asrcs, bsrcs
+}
+
+func BenchmarkFusedLeaf(b *testing.B) {
+	be := Default()
+	dsts, asrcs, bsrcs := fusedBenchOperands(512, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DispatchFused(be, dsts, 1, asrcs, bsrcs, false, 1)
+	}
+}
+
+func BenchmarkExplicitLeaf(b *testing.B) {
+	be := Default()
+	dsts, asrcs, bsrcs := fusedBenchOperands(512, 512, 512)
+	S := mat.New(512, 512)
+	T := mat.New(512, 512)
+	P := mat.New(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Scale(S, asrcs[0].Coeff, asrcs[0].M)
+		mat.Axpy(S, asrcs[1].Coeff, asrcs[1].M)
+		mat.Scale(T, bsrcs[0].Coeff, bsrcs[0].M)
+		mat.Axpy(T, bsrcs[1].Coeff, bsrcs[1].M)
+		be.Gemm(P, 1, S, T, false, 1)
+		mat.Scale(dsts[0].M, dsts[0].Coeff, P)
+		mat.Scale(dsts[1].M, dsts[1].Coeff, P)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package gemm
+
+// raceEnabled relaxes allocation expectations: race instrumentation defeats
+// the escape analysis that keeps pool scratch and dispatch state off the
+// heap, so alloc counts are higher under -race through no fault of the
+// kernels.
+const raceEnabled = true

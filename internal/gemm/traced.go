@@ -43,3 +43,35 @@ func DispatchTraced(be Backend, C *mat.Dense, alpha float64, A, B *mat.Dense, ac
 	Dispatch(be, C, alpha, A, B, accumulate, workers)
 	TraceLeaf(tr, be, A.Rows(), A.Cols(), B.Cols(), time.Since(start))
 }
+
+// TraceFusedLeaf records one fused leaf call — same payload as TraceLeaf but
+// under the fused span kind, so trace consumers can tell which leaves ran the
+// scatter-add engine. Nil-safe and allocation-free like TraceLeaf.
+func TraceFusedLeaf(tr *trace.Spans, be Backend, m, k, n int, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Add(trace.Span{
+		Kind:    trace.KindFusedLeaf,
+		Backend: be.Name(), //fastmm:allow interface read of the static registry name
+		M:       int32(m),
+		K:       int32(k),
+		N:       int32(n),
+		Nanos:   int64(d),
+	})
+}
+
+// DispatchFusedTraced is DispatchFused with a fused-leaf span recorded into
+// tr when non-nil — the fused analog of DispatchTraced.
+//
+//fastmm:wallclock leaf timing is the span payload; monotonic Now/Since only
+func DispatchFusedTraced(be Backend, dsts []Scaled, alpha float64, asrcs, bsrcs []Scaled, accumulate bool, workers int, tr *trace.Spans) {
+	if tr == nil {
+		DispatchFused(be, dsts, alpha, asrcs, bsrcs, accumulate, workers)
+		return
+	}
+	start := time.Now()
+	DispatchFused(be, dsts, alpha, asrcs, bsrcs, accumulate, workers)
+	m, k := asrcs[0].M.Rows(), asrcs[0].M.Cols()
+	TraceFusedLeaf(tr, be, m, k, bsrcs[0].M.Cols(), time.Since(start))
+}

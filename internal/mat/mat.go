@@ -32,6 +32,22 @@ func New(r, c int) *Dense {
 	return &Dense{rows: r, cols: c, stride: c, data: make([]float64, r*c)}
 }
 
+// Scaled pairs a matrix with a scalar coefficient. It is the operand unit of
+// the fused blocked engine (gemm.GemmFused): a linear combination Σ c_t·M_t is
+// expressed as a []Scaled, and the packing/epilogue layers apply the
+// coefficients in place instead of materializing the sum. It lives here (not
+// in gemm) so arena allocators can hand out []Scaled scratch without an
+// import cycle.
+type Scaled struct {
+	M     *Dense
+	Coeff float64
+	// Overwrite marks a fused-engine destination whose prior contents are
+	// ignored: the first panel writes Coeff·P over the block instead of
+	// accumulating, saving the zero-then-read-modify-write round trip the
+	// executor would otherwise pay on every first-touch block.
+	Overwrite bool
+}
+
 // FromRows builds a matrix from a slice of equal-length rows. It copies the
 // data.
 func FromRows(rows [][]float64) *Dense {

@@ -79,6 +79,10 @@ const (
 	KindStep = "step"
 	// KindLeaf is one base-case gemm call: backend, dims, duration.
 	KindLeaf = "leaf"
+	// KindFusedLeaf is one fused base-case call (gemm.DispatchFused): the
+	// S/T/M temporaries of the last recursion level folded into the packing
+	// and scatter-add epilogue. Same payload as KindLeaf.
+	KindFusedLeaf = "fused"
 )
 
 // Span is one timed or structural event inside a request's execution. The

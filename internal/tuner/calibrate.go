@@ -23,7 +23,9 @@ import (
 // v3: operation-typed plans (the op token joins the cache key and Plan) and
 // the resource budget rendered through resources.Resources.Key — v2 caches
 // are retired cleanly for the same reason.
-const ProfileVersion = 3
+// v4: the fused-operand engine joins the candidate space (Plan.Fused and the
+// fused cost-model dimension) — v3 caches predate it and must re-rank.
+const ProfileVersion = 4
 
 // Profile is a one-time machine calibration: the measured gemm throughput
 // curve and addition bandwidth that parameterize the cost model's time

@@ -172,7 +172,12 @@ type Plan struct {
 	Parallel string `json:"parallel"`
 	Strategy string `json:"strategy,omitempty"`
 	CSE      bool   `json:"cse,omitempty"`
-	Workers  int    `json:"workers"`
+	// Fused runs the last recursion level through the fused-operand engine
+	// (no S/T/M temporaries; operand sums folded into packing, products
+	// scatter-added through the epilogue). Enumerated only for leaf backends
+	// that support it (gemm.CanFuse).
+	Fused   bool `json:"fused,omitempty"`
+	Workers int  `json:"workers"`
 	// WorkspaceBytes is the plan's predicted peak workspace: the built
 	// executor's Table-3 model for fast plans, the gemm packing slabs for
 	// classical.
@@ -198,7 +203,11 @@ func (p Plan) String() string {
 	if p.IsClassical() {
 		return fmt.Sprintf("%sclassical/%dw%s", o, p.Workers, be)
 	}
-	return fmt.Sprintf("%s%s/s%d/%s/%s/%dw%s", o, p.Algorithm, p.Steps, p.Parallel, p.Strategy, p.Workers, be)
+	fu := ""
+	if p.Fused {
+		fu = "/fused"
+	}
+	return fmt.Sprintf("%s%s/s%d/%s/%s%s/%dw%s", o, p.Algorithm, p.Steps, p.Parallel, p.Strategy, fu, p.Workers, be)
 }
 
 // decision is a plan bound to its runnable executor and resolved backend.
@@ -342,6 +351,7 @@ type modelKey struct {
 	name  string
 	strat addchain.Strategy
 	cse   bool
+	fused bool
 }
 
 // New builds a tuner. Calibration resolution order: Options.Profile, the
@@ -797,6 +807,12 @@ func (t *Tuner) algorithmPlans(o op.Op, a *algo.Algorithm, m, k, n int, ma costm
 	b := a.Base
 	workers := t.opts.Workers
 	backend := be.Name()
+	// The fused engine is a candidate dimension only where the leaf backend
+	// supports it; other backends enumerate explicit plans alone.
+	fusedDims := []bool{false}
+	if gemm.CanFuse(be) {
+		fusedDims = []bool{false, true}
+	}
 	if o.Symmetric() {
 		// A candidate that cannot take even one fast step on the largest
 		// off-diagonal multiply (⌈p/2⌉ × q × ⌊p/2⌋) degenerates to a
@@ -829,37 +845,41 @@ func (t *Tuner) algorithmPlans(o op.Op, a *algo.Algorithm, m, k, n int, ma costm
 			fixup = 0
 		}
 		for _, strat := range t.opts.Strategies {
-			model := t.model(a, strat)
-			cost, err := model.Evaluate(cm, ck, cn, steps)
-			if err != nil {
-				continue
-			}
-			for _, sc := range t.schedules() {
-				ex := sc.ex
-				ex.Backend = backend
-				est, err := model.PredictTime(cm, ck, cn, steps, ma, ex)
+			for _, fused := range fusedDims {
+				model := t.model(a, strat, fused)
+				cost, err := model.Evaluate(cm, ck, cn, steps)
 				if err != nil {
 					continue
 				}
-				if o.Symmetric() {
-					est.Seconds = t.symPredictSeconds(a, model, ma, ex, backend, steps, m, k, planWorkers(sc.par, workers))
-					fixup = 0 // peeling priced per level inside the walk
+				for _, sc := range t.schedules() {
+					ex := sc.ex
+					ex.Backend = backend
+					est, err := model.PredictTime(cm, ck, cn, steps, ma, ex)
+					if err != nil {
+						continue
+					}
+					fix := fixup
+					if o.Symmetric() {
+						est.Seconds = t.symPredictSeconds(a, model, ma, ex, backend, steps, m, k, planWorkers(sc.par, workers))
+						fix = 0 // peeling priced per level inside the walk
+					}
+					ws := modelWorkspaceBytes(cost, sc.par, workers, be)
+					if cap := t.opts.Workspace; cap > 0 && ws > cap {
+						continue
+					}
+					out = append(out, Plan{
+						Algorithm:        a.Name,
+						Backend:          backend,
+						Steps:            steps,
+						Parallel:         sc.par.String(),
+						Strategy:         strat.String(),
+						CSE:              t.opts.CSE,
+						Fused:            fused,
+						Workers:          planWorkers(sc.par, workers),
+						WorkspaceBytes:   ws,
+						PredictedSeconds: est.Seconds + fix,
+					})
 				}
-				ws := modelWorkspaceBytes(cost, sc.par, workers, be)
-				if cap := t.opts.Workspace; cap > 0 && ws > cap {
-					continue
-				}
-				out = append(out, Plan{
-					Algorithm:        a.Name,
-					Backend:          backend,
-					Steps:            steps,
-					Parallel:         sc.par.String(),
-					Strategy:         strat.String(),
-					CSE:              t.opts.CSE,
-					Workers:          planWorkers(sc.par, workers),
-					WorkspaceBytes:   ws,
-					PredictedSeconds: est.Seconds + fixup,
-				})
 			}
 		}
 	}
@@ -888,15 +908,16 @@ func planWorkers(par core.Parallel, workers int) int {
 	return workers
 }
 
-// model returns the cached cost model for one (algorithm, strategy) pair.
-func (t *Tuner) model(a *algo.Algorithm, strat addchain.Strategy) *costmodel.Model {
-	key := modelKey{name: a.Name, strat: strat, cse: t.opts.CSE}
+// model returns the cached cost model for one (algorithm, strategy, fused)
+// triple.
+func (t *Tuner) model(a *algo.Algorithm, strat addchain.Strategy, fused bool) *costmodel.Model {
+	key := modelKey{name: a.Name, strat: strat, cse: t.opts.CSE, fused: fused}
 	t.modelMu.Lock()
 	defer t.modelMu.Unlock()
 	if m, ok := t.models[key]; ok {
 		return m
 	}
-	m := costmodel.NewTrusted(a, strat, t.opts.CSE)
+	m := costmodel.NewTrustedFused(a, strat, t.opts.CSE, fused)
 	t.models[key] = m
 	return m
 }
@@ -972,6 +993,7 @@ func (t *Tuner) build(o op.Op, p Plan) (*decision, error) {
 		MinDim:    t.opts.MinDim,
 		Strategy:  strat,
 		CSE:       p.CSE,
+		Fused:     p.Fused,
 		Parallel:  par,
 		Backend:   p.Backend,
 	})

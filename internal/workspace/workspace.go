@@ -35,6 +35,7 @@ const (
 	headerChunkLen = 512
 	ptrChunkLen    = 1024
 	boolChunkLen   = 1024
+	scaledChunkLen = 1024
 )
 
 // Arena is a bump allocator over retained chunks. It hands out float slabs,
@@ -42,10 +43,11 @@ const (
 // are not zeroed (callers overwrite or explicitly Zero). An Arena must not
 // be used from more than one goroutine at a time; use a Pool to share.
 type Arena struct {
-	floats floatSlab
-	hdrs   slab[mat.Dense]
-	ptrs   slab[*mat.Dense]
-	bools  slab[bool]
+	floats  floatSlab
+	hdrs    slab[mat.Dense]
+	ptrs    slab[*mat.Dense]
+	bools   slab[bool]
+	scaleds slab[mat.Scaled]
 }
 
 // floatSlab needs variable-length allocation; the generic slab hands out
@@ -68,6 +70,7 @@ type Mark struct {
 	hci, hoff int
 	pci, poff int
 	bci, boff int
+	sci, soff int
 }
 
 // New returns an empty arena; chunks are allocated on demand and retained.
@@ -75,9 +78,10 @@ type Mark struct {
 //fastmm:allow arena construction is the amortized cold path
 func New() *Arena {
 	return &Arena{
-		hdrs:  slab[mat.Dense]{chunkLen: headerChunkLen},
-		ptrs:  slab[*mat.Dense]{chunkLen: ptrChunkLen},
-		bools: slab[bool]{chunkLen: boolChunkLen},
+		hdrs:    slab[mat.Dense]{chunkLen: headerChunkLen},
+		ptrs:    slab[*mat.Dense]{chunkLen: ptrChunkLen},
+		bools:   slab[bool]{chunkLen: boolChunkLen},
+		scaleds: slab[mat.Scaled]{chunkLen: scaledChunkLen},
 	}
 }
 
@@ -87,6 +91,11 @@ func (a *Arena) Floats(n int) []float64 { return a.floats.alloc(n) }
 
 // Ptrs returns an uninitialized matrix-pointer scratch slice of length n.
 func (a *Arena) Ptrs(n int) []*mat.Dense { return a.ptrs.alloc(n) }
+
+// Scaleds returns an uninitialized scaled-operand scratch slice of length n,
+// the fused leaf's per-call operand lists (gemm.GemmFused sources and
+// destinations).
+func (a *Arena) Scaleds(n int) []mat.Scaled { return a.scaleds.alloc(n) }
 
 // Bools returns a false-initialized bool scratch slice of length n.
 func (a *Arena) Bools(n int) []bool {
@@ -125,6 +134,7 @@ func (a *Arena) Mark() Mark {
 		hci: a.hdrs.ci, hoff: a.hdrs.off,
 		pci: a.ptrs.ci, poff: a.ptrs.off,
 		bci: a.bools.ci, boff: a.bools.off,
+		sci: a.scaleds.ci, soff: a.scaleds.off,
 	}
 }
 
@@ -135,6 +145,7 @@ func (a *Arena) Release(m Mark) {
 	a.hdrs.ci, a.hdrs.off = m.hci, m.hoff
 	a.ptrs.ci, a.ptrs.off = m.pci, m.poff
 	a.bools.ci, a.bools.off = m.bci, m.boff
+	a.scaleds.ci, a.scaleds.off = m.sci, m.soff
 }
 
 // Reset releases everything, keeping the chunks. Unlike Release it also
@@ -149,6 +160,10 @@ func (a *Arena) Reset() {
 		clear(c)
 	}
 	for _, c := range a.ptrs.chunks {
+		clear(c)
+	}
+	// Scaled entries embed *Dense and would pin operands the same way.
+	for _, c := range a.scaleds.chunks {
 		clear(c)
 	}
 }
@@ -175,6 +190,7 @@ func (a *Arena) Bytes() int64 {
 	n += int64(a.hdrs.len()) * int64(unsafe.Sizeof(mat.Dense{}))
 	n += int64(a.ptrs.len()) * 8
 	n += int64(a.bools.len())
+	n += int64(a.scaleds.len()) * int64(unsafe.Sizeof(mat.Scaled{}))
 	return n
 }
 
